@@ -1,0 +1,128 @@
+"""E10 — Section 5.3: batch → incremental conversion of tiered discounts.
+
+The paper's telephone plan (10% over $10, 20% over $25, 30% over $100
+here), computed two ways while sweeping the billing-period length:
+
+* **batch** — fold the whole period's records once at period end: cheap
+  in total, but the discount is stale/inaccurate all period long;
+* **incremental** — per-record O(1) updates; the discount is exact at
+  every instant and equals the batch statement at period end.
+
+Expected shape: incremental per-record work flat in the period length;
+results exactly equal; and the staleness metric (fraction of the period
+during which the batch answer differs from the true running answer) grows
+with period length while incremental staleness is identically zero.
+"""
+
+import sys
+
+import pytest
+
+from repro.complexity.fitting import fit_series, is_flat
+from repro.complexity.harness import format_table
+from repro.views.batch import (
+    IncrementalTieredComputation,
+    TierSchedule,
+    batch_tiered_computation,
+)
+from repro.workloads import TelecomWorkload
+
+PERIODS = [500, 2_000, 8_000, 32_000]
+PLAN = TierSchedule([(10_00, 0.10), (25_00, 0.20), (100_00, 0.30)])
+
+
+def _records(count):
+    workload = TelecomWorkload(seed=29, subscribers=100)
+    return [(r["caller"], r["cents"]) for r in workload.records(count)]
+
+
+def _incremental_run(records):
+    import time
+
+    incremental = IncrementalTieredComputation(PLAN)
+    stale_hits = 0
+    start = time.perf_counter()
+    for key, amount in records:
+        incremental.observe(key, amount)
+    elapsed = time.perf_counter() - start
+    return incremental, elapsed / len(records)
+
+
+def _staleness(records):
+    """Fraction of record-instants at which a batch-at-period-end system
+    reports a different discount rate than the true running rate."""
+    running = IncrementalTieredComputation(PLAN)
+    stale = 0
+    for key, amount in records:
+        running.observe(key, amount)
+        # batch system still reports rate 0 (no statement until period end)
+        if running.rate(key) != 0.0:
+            stale += 1
+    return stale / len(records)
+
+
+def run_report() -> str:
+    rows, per_record = [], []
+    for period in PERIODS:
+        records = _records(period)
+        incremental, seconds_per_record = _incremental_run(records)
+        batch = batch_tiered_computation(PLAN, records)
+        exact = incremental.statement() == batch
+        staleness = _staleness(records)
+        per_record.append(seconds_per_record * 1e6)
+        rows.append(
+            [period, f"{seconds_per_record * 1e6:.2f}",
+             "yes" if exact else "NO", f"{staleness:.0%}"]
+        )
+    return (
+        "== E10  tiered discounts: incremental vs batch ==\n"
+        + format_table(
+            ["period (records)", "incremental µs/record",
+             "equals batch statement", "batch staleness"],
+            rows,
+        )
+        + f"\nfit of per-record cost in period length: "
+        f"{fit_series(PERIODS, per_record).model} (expected constant)\n"
+    )
+
+
+def test_e10_exact_equality_every_period():
+    for period in PERIODS[:3]:
+        records = _records(period)
+        incremental, _ = _incremental_run(records)
+        assert incremental.statement() == batch_tiered_computation(PLAN, records)
+
+
+def test_e10_per_record_cost_flat():
+    costs = []
+    for period in PERIODS:
+        records = _records(period)
+        _, seconds = _incremental_run(records)
+        costs.append(seconds)
+    assert is_flat(PERIODS, costs, slack=0.9)  # wall time: generous slack
+
+
+def test_e10_batch_staleness_grows():
+    small = _staleness(_records(PERIODS[0]))
+    large = _staleness(_records(PERIODS[-1]))
+    assert large > small
+
+
+@pytest.mark.parametrize("period", [500, 32_000])
+def test_e10_incremental_stream(benchmark, period):
+    records = _records(period)
+    benchmark.pedantic(
+        lambda: _incremental_run(records), rounds=3, iterations=1
+    )
+
+
+@pytest.mark.parametrize("period", [500, 32_000])
+def test_e10_batch_fold(benchmark, period):
+    records = _records(period)
+    benchmark.pedantic(
+        lambda: batch_tiered_computation(PLAN, records), rounds=3, iterations=1
+    )
+
+
+if __name__ == "__main__":
+    sys.stdout.write(run_report())

@@ -1,0 +1,110 @@
+"""E1 — Proposition 3.1: RA+aggregation is IM-C^k, not IM-R^k.
+
+The same summary view (SUM, COUNT per account) is maintained two ways
+while the chronicle grows:
+
+* **recompute** — relational algebra over the stored chronicle, from
+  scratch per append (the IM-C^k representative);
+* **incremental** — the chronicle-model delta engine.
+
+Expected shape: recompute's per-append cost grows ~linearly with |C|
+(each recomputation reads the whole stored chronicle); the incremental
+view's cost is flat, and it never reads the chronicle at all.
+"""
+
+import sys
+
+import pytest
+
+from repro.algebra.ast import scan
+from repro.aggregates import COUNT, SUM, spec
+from repro.baselines.recompute import RecomputeMaintainer
+from repro.complexity.counters import GLOBAL_COUNTERS
+from repro.complexity.fitting import fit_series, is_flat
+from repro.complexity.harness import format_table
+from repro.sca.summarize import GroupBySummary
+
+from _common import attach, make_group, one_append, preload, sum_view
+
+SIZES = [200, 1000, 5000, 25000]
+
+
+def _recompute_cost_at(size):
+    group, calls = make_group(retention=None)
+    summary = GroupBySummary(scan(calls), ["acct"], [spec(SUM, "mins"), spec(COUNT)])
+    maintainer = RecomputeMaintainer(summary)
+    preload(group, calls, size)
+    maintainer.attach(group)
+    with GLOBAL_COUNTERS.measure() as cost:
+        group.append(calls, {"acct": 0, "mins": 1})
+    return cost
+
+
+def _incremental_cost_at(size):
+    group, calls = make_group(retention=0)
+    view = attach(sum_view(scan(calls), ["acct"]), group)
+    preload(group, calls, size)
+    with GLOBAL_COUNTERS.measure() as cost:
+        group.append(calls, {"acct": 0, "mins": 1})
+    return cost
+
+
+def run_report() -> str:
+    rows = []
+    recompute_work, incremental_work = [], []
+    for size in SIZES:
+        recompute = _recompute_cost_at(size)
+        incremental = _incremental_cost_at(size)
+        r_work = sum(recompute.values())
+        i_work = sum(incremental.values())
+        recompute_work.append(r_work)
+        incremental_work.append(i_work)
+        rows.append(
+            [size, r_work, recompute["chronicle_read"], i_work,
+             incremental["chronicle_read"]]
+        )
+    recompute_fit = fit_series(SIZES, recompute_work).model
+    incremental_fit = fit_series(SIZES, incremental_work).model
+    table = format_table(
+        ["|C|", "recompute_work", "recompute_chr_reads",
+         "incremental_work", "incremental_chr_reads"],
+        rows,
+    )
+    return (
+        "== E1  Proposition 3.1: per-append maintenance work vs |C| ==\n"
+        f"{table}\n"
+        f"fit: recompute={recompute_fit} (expected linear+), "
+        f"incremental={incremental_fit} (expected constant)\n"
+    )
+
+
+def test_e1_shape():
+    recompute_work = [sum(_recompute_cost_at(s).values()) for s in SIZES]
+    incremental_work = [sum(_incremental_cost_at(s).values()) for s in SIZES]
+    # Recompute grows at least ~linearly across a 125x size range.
+    assert recompute_work[-1] > recompute_work[0] * 50
+    # Incremental is flat and reads no chronicle.
+    assert is_flat(SIZES, incremental_work, slack=0.05)
+    assert _incremental_cost_at(SIZES[-1])["chronicle_read"] == 0
+
+
+@pytest.mark.parametrize("size", [200, 5000])
+def test_e1_recompute_append(benchmark, size):
+    group, calls = make_group(retention=None)
+    summary = GroupBySummary(scan(calls), ["acct"], [spec(SUM, "mins"), spec(COUNT)])
+    maintainer = RecomputeMaintainer(summary)
+    preload(group, calls, size)
+    maintainer.attach(group)
+    benchmark(one_append(group, calls))
+
+
+@pytest.mark.parametrize("size", [200, 5000])
+def test_e1_incremental_append(benchmark, size):
+    group, calls = make_group(retention=0)
+    attach(sum_view(scan(calls), ["acct"]), group)
+    preload(group, calls, size)
+    benchmark(one_append(group, calls))
+
+
+if __name__ == "__main__":
+    sys.stdout.write(run_report())

@@ -1,0 +1,134 @@
+"""E3 — Theorem 4.2's shape in u, j and |R|.
+
+The theorem's per-append bounds:
+
+* CA   (relation cross products):  Time = O((u·|R|)^j · log|R|)
+* CA⋈ (key joins):                Time = O(u^j · log|R|)
+* CA1  (no relation operators):    Time = O(u^j)
+
+Three sweeps confirm the separations:
+
+1. sweep j (number of C×R products) at fixed |R|: CA work grows
+   geometrically with ratio ~|R| per extra product;
+2. sweep |R| at j=1: CA work ~linear in |R|, CA⋈ flat tuple work with
+   ≤ log probe growth, CA1 exactly flat (it never touches R);
+3. sweep u (unions): delta size grows linearly with the number of scans
+   feeding the union tree.
+"""
+
+import sys
+
+import pytest
+
+from repro.algebra.ast import Node, scan
+from repro.complexity.counters import GLOBAL_COUNTERS
+from repro.complexity.fitting import fit_series, is_flat
+from repro.complexity.harness import format_table
+
+from _common import attach, make_customers, make_group, one_append, sum_view
+
+R_SIZES = [10, 100, 1000]
+J_VALUES = [0, 1, 2]
+U_VALUES = [1, 2, 4, 8]
+
+
+def _system(j=0, u=1, r=100, language="ca"):
+    """A view with u parallel scans unioned and j relation operators."""
+    group, calls = make_group(retention=0)
+    node: Node = scan(calls)
+    for _ in range(u - 1):
+        node = node.union(scan(calls))
+    customers = make_customers(r, ordered=(language == "ca_join"))
+    for _ in range(j):
+        if language == "ca":
+            node = node.product(customers)
+        elif language == "ca_join":
+            node = node.keyjoin(customers, [("acct", "acct")])
+    view = attach(sum_view(node, ["acct"]), group)
+    return group, calls, view
+
+
+def _append_cost(group, calls):
+    with GLOBAL_COUNTERS.measure() as cost:
+        group.append(calls, {"acct": 1, "mins": 1})
+    return cost
+
+
+def run_report() -> str:
+    # Sweep 1: j at fixed |R| for CA.
+    j_rows, j_work = [], []
+    for j in J_VALUES:
+        group, calls, _ = _system(j=j, r=50, language="ca")
+        cost = _append_cost(group, calls)
+        j_work.append(cost["tuple_op"])
+        j_rows.append([j, cost["tuple_op"]])
+    # Sweep 2: |R| at j=1 per language.
+    r_rows = []
+    series = {"ca": [], "ca_join": [], "ca1": []}
+    for r in R_SIZES:
+        row = [r]
+        for language in ("ca", "ca_join", "ca1"):
+            group, calls, _ = _system(j=0 if language == "ca1" else 1, r=r,
+                                      language=language)
+            cost = _append_cost(group, calls)
+            series[language].append(cost["tuple_op"])
+            row.append(cost["tuple_op"])
+        r_rows.append(row)
+    # Sweep 3: u.
+    u_rows, u_work = [], []
+    for u in U_VALUES:
+        group, calls, _ = _system(u=u, j=0)
+        cost = _append_cost(group, calls)
+        u_work.append(cost["tuple_op"])
+        u_rows.append([u, cost["tuple_op"]])
+    return (
+        "== E3  Theorem 4.2 shape in j, |R|, u ==\n"
+        + format_table(["j (C×R products)", "tuple_ops (|R|=50)"], j_rows)
+        + f"\ngeometric growth ratios: "
+        f"{[round(b / max(a, 1), 1) for a, b in zip(j_work, j_work[1:])]}"
+        " (expected ~|R| per extra product)\n\n"
+        + format_table(["|R|", "CA tuple_ops", "CA-join tuple_ops", "CA1 tuple_ops"], r_rows)
+        + f"\nfits in |R|: CA={fit_series(R_SIZES, series['ca']).model} (exp linear), "
+        f"CA-join={fit_series(R_SIZES, series['ca_join']).model} (exp constant), "
+        f"CA1={fit_series(R_SIZES, series['ca1']).model} (exp constant)\n\n"
+        + format_table(["u (unions of scans)", "tuple_ops"], u_rows)
+        + f"\nfit in u: {fit_series(U_VALUES, u_work).model} (expected linear)\n"
+    )
+
+
+def test_e3_j_growth_is_geometric_in_relation_size():
+    work = []
+    for j in J_VALUES:
+        group, calls, _ = _system(j=j, r=50, language="ca")
+        work.append(_append_cost(group, calls)["tuple_op"])
+    assert work[1] > work[0] * 20   # one product ≈ |R| multiplier
+    assert work[2] > work[1] * 20
+
+
+def test_e3_relation_size_separation():
+    ca, ca_join = [], []
+    for r in R_SIZES:
+        group, calls, _ = _system(j=1, r=r, language="ca")
+        ca.append(_append_cost(group, calls)["tuple_op"])
+        group, calls, _ = _system(j=1, r=r, language="ca_join")
+        ca_join.append(_append_cost(group, calls)["tuple_op"])
+    assert fit_series(R_SIZES, ca).model in ("linear", "nlogn")
+    assert is_flat(R_SIZES, ca_join, slack=0.05)
+
+
+def test_e3_union_growth_is_linear():
+    work = []
+    for u in U_VALUES:
+        group, calls, _ = _system(u=u, j=0)
+        work.append(_append_cost(group, calls)["tuple_op"])
+    assert fit_series(U_VALUES, work).model == "linear"
+
+
+@pytest.mark.parametrize("language,j", [("ca1", 0), ("ca_join", 1), ("ca", 1)])
+def test_e3_append_by_language(benchmark, language, j):
+    group, calls, _ = _system(j=j, r=1000, language=language)
+    benchmark(one_append(group, calls, acct=1))
+
+
+if __name__ == "__main__":
+    sys.stdout.write(run_report())

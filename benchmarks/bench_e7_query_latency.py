@@ -1,0 +1,126 @@
+"""E7 — Section 1's motivating promise: summary queries in "subseconds",
+independent of stream length.
+
+The cellular scenario: "total number of minutes of calls made … from a
+phone number", displayed at phone power-on.  Two implementations answer
+the query while the stream grows:
+
+* **persistent view** — one index lookup on the maintained view;
+* **window scan** — scanning the stored chronicle window (what a
+  relational system without persistent views would do; it also pays
+  unbounded storage).
+
+Expected shape: view lookups flat (a handful of probes, microseconds);
+window scans linear in the stream length.
+"""
+
+import sys
+import time
+
+import pytest
+
+from repro.complexity.counters import GLOBAL_COUNTERS
+from repro.complexity.fitting import fit_series, is_flat
+from repro.complexity.harness import format_table
+from repro.core.database import ChronicleDatabase
+from repro.workloads import TelecomWorkload
+
+SIZES = [1_000, 10_000, 100_000]
+
+
+def _build(size, retention):
+    db = ChronicleDatabase()
+    db.create_chronicle(
+        "calls", [("caller", "INT"), ("seconds", "INT")], retention=retention
+    )
+    db.define_view(
+        "DEFINE VIEW usage AS SELECT caller, SUM(seconds) AS total "
+        "FROM calls GROUP BY caller"
+    )
+    workload = TelecomWorkload(seed=17, subscribers=200)
+    with GLOBAL_COUNTERS.disabled():
+        for record in workload.records(size):
+            db.append("calls", {"caller": record["caller"], "seconds": record["seconds"]})
+    return db
+
+
+def _view_query_cost(db, caller=5_550_000):
+    with GLOBAL_COUNTERS.measure() as cost:
+        db.view_value("usage", (caller,), "total")
+    return cost
+
+
+def _scan_query_cost(db, caller=5_550_000):
+    with GLOBAL_COUNTERS.measure() as cost:
+        total = 0
+        for row in db.chronicle("calls").rows():
+            if row["caller"] == caller:
+                total += row["seconds"]
+    return cost
+
+
+def run_report() -> str:
+    rows, view_work, scan_work = [], [], []
+    for size in SIZES:
+        db = _build(size, retention=None)
+        view_cost = _view_query_cost(db)
+        scan_cost = _scan_query_cost(db)
+        view_total = sum(view_cost.values())
+        scan_total = sum(scan_cost.values())
+        view_work.append(view_total)
+        scan_work.append(scan_total)
+        start = time.perf_counter()
+        for _ in range(100):
+            db.view_value("usage", (5_550_000,), "total")
+        view_us = (time.perf_counter() - start) / 100 * 1e6
+        rows.append([size, view_total, f"{view_us:.1f}", scan_total])
+    return (
+        "== E7  summary-query latency vs stream length ==\n"
+        + format_table(
+            ["stream length", "view query work", "view query µs", "window scan work"],
+            rows,
+        )
+        + f"\nfits: view={fit_series(SIZES, view_work).model} (expected constant), "
+        f"scan={fit_series(SIZES, scan_work).model} (expected linear)\n"
+        "with retention=0 the scan is impossible and the view still answers\n"
+    )
+
+
+def test_e7_view_flat_scan_linear():
+    view_work, scan_work = [], []
+    for size in SIZES:
+        db = _build(size, retention=None)
+        view_work.append(sum(_view_query_cost(db).values()))
+        scan_work.append(sum(_scan_query_cost(db).values()))
+    assert is_flat(SIZES, view_work, slack=0.2)
+    assert fit_series(SIZES, scan_work).model == "linear"
+
+
+def test_e7_view_answers_without_storage():
+    db = _build(10_000, retention=0)
+    assert db.view_value("usage", (5_550_000,), "total") > 0
+    assert len(db.chronicle("calls")) == 0
+
+
+@pytest.mark.parametrize("size", [1_000, 100_000])
+def test_e7_view_lookup(benchmark, size):
+    db = _build(size, retention=0)
+    benchmark(lambda: db.view_value("usage", (5_550_000,), "total"))
+
+
+@pytest.mark.parametrize("size", [1_000, 100_000])
+def test_e7_window_scan(benchmark, size):
+    db = _build(size, retention=None)
+
+    def scan_query():
+        total = 0
+        for row in db.chronicle("calls").rows():
+            if row["caller"] == 5_550_000:
+                total += row["seconds"]
+        return total
+
+    benchmark(scan_query)
+
+
+if __name__ == "__main__":
+    sys.stdout.write(run_report())

@@ -1,0 +1,86 @@
+"""Banking: the ATM balance scenario and the Chemical Bank bug.
+
+Section 1 of the paper: ATM withdrawals need the dollar_balance summary
+field updated *as the transaction executes* (the next withdrawal checks
+it), and the hand-written procedural update code "has been the cause of
+well-publicized banking disasters" — the Chemical Bank double-posting of
+February 18, 1994 [NYT94].
+
+This example runs the same transaction stream through
+
+1. a declaratively defined persistent view (the chronicle model), and
+2. a trigger-style procedural updater with the classic double-apply bug,
+
+then reconciles: the view is exact; the buggy updater bounces checks.
+
+Run:  python examples/banking_atm.py
+"""
+
+from repro import ChronicleDatabase
+from repro.baselines.trigger import BuggyTriggerUpdater
+from repro.workloads import BankingWorkload
+
+
+def main() -> None:
+    db = ChronicleDatabase()
+    db.create_chronicle(
+        "transactions",
+        [("acct", "INT"), ("kind", "STR"), ("cents", "INT"), ("day", "INT")],
+        retention=0,
+    )
+    db.define_view(
+        "DEFINE VIEW balance AS "
+        "SELECT acct, SUM(cents) AS cents, COUNT(*) AS transactions "
+        "FROM transactions GROUP BY acct"
+    )
+    db.define_view(
+        "DEFINE VIEW withdrawals AS "
+        "SELECT acct, SUM(cents) AS cents, COUNT(*) AS n "
+        "FROM transactions WHERE kind = 'withdrawal' GROUP BY acct"
+    )
+
+    # The status-quo implementation: procedural summary fields, with the
+    # 1994 bug (every 97th update applied twice).
+    def update_balance(fields, row):
+        fields["cents"] += row["cents"]
+
+    buggy = BuggyTriggerUpdater(
+        "acct", lambda: {"cents": 0}, update_balance, double_apply_every=97
+    )
+    buggy.attach(db.group())
+
+    workload = BankingWorkload(seed=3, accounts=200)
+    denied = 0
+    for record in workload.records(25_000):
+        # The ATM check: a withdrawal is denied when the *declarative*
+        # balance would go below -$500 (overdraft line).  This query runs
+        # before the append — subsecond, no stream access.
+        if record["kind"] == "withdrawal":
+            balance = db.view_value("balance", (record["acct"],), "cents") or 0
+            if balance + record["cents"] < -50_000:
+                denied += 1
+                continue
+        db.append("transactions", record)
+
+    # Reconciliation: compare the declarative view with the buggy fields.
+    mismatched = []
+    for row in db.view("balance"):
+        acct = row["acct"]
+        if buggy.value(acct, "cents") != row["cents"]:
+            mismatched.append(acct)
+
+    total = len(db.view("balance"))
+    print(f"accounts               : {total}")
+    print(f"withdrawals denied     : {denied} (overdraft protection)")
+    print(f"buggy trigger mismatch : {len(mismatched)}/{total} accounts "
+          f"(the Chemical Bank failure mode)")
+    worst = max(
+        (abs(buggy.value(a, 'cents') - (db.view_value('balance', (a,), 'cents') or 0)), a)
+        for a in mismatched
+    )
+    print(f"worst account error    : ${worst[0] / 100:,.2f} on account {worst[1]}")
+    print("declarative view       : exact by construction (Theorem 4.4)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Quickstart: a chronicle database in ten lines.
+
+Creates a call-record chronicle that stores *nothing* (retention=0),
+defines two persistent views declaratively, streams ten thousand calls
+through, and answers summary queries instantly — the core promise of the
+chronicle data model.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ChronicleDatabase
+from repro.workloads import TelecomWorkload
+
+
+def main() -> None:
+    db = ChronicleDatabase()
+
+    # A chronicle: an unbounded, append-only stream.  retention=0 means
+    # the database stores none of it — views must be maintainable anyway.
+    db.create_chronicle(
+        "calls",
+        [("caller", "INT"), ("seconds", "INT"), ("cents", "INT")],
+        retention=0,
+    )
+
+    # Persistent views, defined declaratively (no procedural update code).
+    db.define_view(
+        "DEFINE VIEW usage AS "
+        "SELECT caller, SUM(seconds) AS total_seconds, COUNT(*) AS calls "
+        "FROM calls GROUP BY caller"
+    )
+    db.define_view(
+        "DEFINE VIEW revenue AS SELECT SUM(cents) AS total_cents FROM calls"
+    )
+
+    # Stream transactions; every append maintains both views before it
+    # returns (the ATM requirement).
+    workload = TelecomWorkload(seed=42, subscribers=500)
+    hot_caller = None
+    for record in workload.records(10_000):
+        db.append(
+            "calls",
+            {
+                "caller": record["caller"],
+                "seconds": record["seconds"],
+                "cents": record["cents"],
+            },
+        )
+        hot_caller = hot_caller or record["caller"]
+
+    # Summary queries: index lookups on the views, no stream access.
+    usage = db.query_view("usage", (hot_caller,))
+    revenue = db.view_value("revenue", (), "total_cents")
+    print(f"chronicle stored rows : {len(db.chronicle('calls'))} (of 10,000 appended)")
+    print(f"caller {hot_caller}   : {usage['calls']} calls, {usage['total_seconds']}s total")
+    print(f"total revenue         : ${revenue / 100:,.2f}")
+
+    view = db.view("usage")
+    print(f"view language         : {view.language.value} ({view.im_class.value})")
+
+
+if __name__ == "__main__":
+    main()

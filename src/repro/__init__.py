@@ -1,0 +1,99 @@
+"""repro — the chronicle data model (PODS 1995), reproduced in Python.
+
+A chronicle database records unbounded append-only transaction streams
+(*chronicles*) and answers summary queries from declaratively defined
+*persistent views*, maintained incrementally on every append in time
+independent of the stream's length — without storing the stream at all.
+
+Quickstart::
+
+    from repro import ChronicleDatabase
+
+    db = ChronicleDatabase()
+    db.create_chronicle("calls", [("caller", "INT"), ("minutes", "INT")])
+    db.define_view(
+        "DEFINE VIEW usage AS "
+        "SELECT caller, SUM(minutes) AS total FROM calls GROUP BY caller"
+    )
+    db.append("calls", {"caller": 5551234, "minutes": 12})
+    db.view_value("usage", (5551234,), "total")   # -> 12
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reproduction of every formal claim in the paper.
+"""
+
+from . import errors
+from .aggregates import AVG, COUNT, FIRST, LAST, MAX, MIN, STDEV, SUM, VAR, AggregateSpec, spec
+from .algebra import IMClass, Language, classify, scan
+from .core import Chronicle, ChronicleGroup, Delta, chronicle_schema
+from .core.database import ChronicleDatabase
+from .relational import (
+    Attribute,
+    Relation,
+    Row,
+    Schema,
+    VersionedRelation,
+    attr_cmp,
+    attr_eq,
+    attrs_cmp,
+)
+from .sca import GroupBySummary, PersistentView, ProjectSummary, evaluate_summary
+from .views import (
+    IncrementalTieredComputation,
+    KeyedMovingWindow,
+    MovingWindowAggregate,
+    PeriodicViewSet,
+    TierSchedule,
+    ViewQuery,
+    monthly,
+    sliding,
+    top_k,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChronicleDatabase",
+    "Chronicle",
+    "ChronicleGroup",
+    "chronicle_schema",
+    "Delta",
+    "Schema",
+    "Attribute",
+    "Row",
+    "Relation",
+    "VersionedRelation",
+    "attr_eq",
+    "attr_cmp",
+    "attrs_cmp",
+    "scan",
+    "classify",
+    "Language",
+    "IMClass",
+    "GroupBySummary",
+    "ProjectSummary",
+    "PersistentView",
+    "evaluate_summary",
+    "AggregateSpec",
+    "spec",
+    "COUNT",
+    "SUM",
+    "MIN",
+    "MAX",
+    "AVG",
+    "VAR",
+    "STDEV",
+    "FIRST",
+    "LAST",
+    "PeriodicViewSet",
+    "monthly",
+    "sliding",
+    "MovingWindowAggregate",
+    "KeyedMovingWindow",
+    "TierSchedule",
+    "IncrementalTieredComputation",
+    "ViewQuery",
+    "top_k",
+    "errors",
+    "__version__",
+]

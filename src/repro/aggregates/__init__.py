@@ -1,0 +1,24 @@
+"""Incrementally computable aggregation functions (paper Preliminaries)."""
+
+from .base import AggregateSpec, IncrementalAggregate, NonIncrementalAggregate, spec
+from .registry import DEFAULT_REGISTRY, AggregateRegistry, default_registry
+from .standard import AVG, COUNT, FIRST, LAST, MAX, MIN, STDEV, SUM, VAR
+
+__all__ = [
+    "IncrementalAggregate",
+    "AggregateSpec",
+    "NonIncrementalAggregate",
+    "spec",
+    "AggregateRegistry",
+    "default_registry",
+    "DEFAULT_REGISTRY",
+    "COUNT",
+    "SUM",
+    "MIN",
+    "MAX",
+    "AVG",
+    "VAR",
+    "STDEV",
+    "FIRST",
+    "LAST",
+]

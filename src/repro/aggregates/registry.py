@@ -1,0 +1,62 @@
+"""Name → aggregate registry used by the query language and builders.
+
+The registry maps canonical names ("SUM") to shared aggregate instances.
+User-defined aggregates (subclasses of :class:`~.base.IncrementalAggregate`)
+can be registered to become available in ``DEFINE VIEW`` statements.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+from ..errors import AggregateError
+from .base import IncrementalAggregate
+from .standard import AVG, COUNT, FIRST, LAST, MAX, MIN, STDEV, SUM, VAR
+
+
+class AggregateRegistry:
+    """A mutable registry of aggregation functions keyed by name."""
+
+    def __init__(self) -> None:
+        self._functions: Dict[str, IncrementalAggregate] = {}
+
+    def register(self, function: IncrementalAggregate, replace: bool = False) -> None:
+        """Register *function* under its canonical name."""
+        name = function.name.upper()
+        if name in self._functions and not replace:
+            raise AggregateError(f"aggregate {name!r} is already registered")
+        self._functions[name] = function
+
+    def get(self, name: str) -> IncrementalAggregate:
+        """Look up an aggregate by (case-insensitive) name."""
+        try:
+            return self._functions[name.upper()]
+        except KeyError:
+            known = ", ".join(sorted(self._functions))
+            raise AggregateError(
+                f"unknown aggregate {name!r}; known aggregates: {known}"
+            ) from None
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name.upper() in self._functions
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._functions))
+
+    def copy(self) -> "AggregateRegistry":
+        """An independent copy (databases get their own registry)."""
+        clone = AggregateRegistry()
+        clone._functions = dict(self._functions)
+        return clone
+
+
+def default_registry() -> AggregateRegistry:
+    """A registry pre-loaded with the standard aggregates."""
+    registry = AggregateRegistry()
+    for function in (COUNT, SUM, MIN, MAX, AVG, VAR, STDEV, FIRST, LAST):
+        registry.register(function)
+    return registry
+
+
+#: Process-wide default registry.
+DEFAULT_REGISTRY = default_registry()

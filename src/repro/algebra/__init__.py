@@ -1,0 +1,48 @@
+"""Chronicle algebra (Definition 4.1): AST, validation, deltas, oracle."""
+
+from .ast import (
+    ChronicleProduct,
+    ChronicleScan,
+    Difference,
+    GroupBySeq,
+    Node,
+    NonEquiSeqJoin,
+    Project,
+    RelKeyJoin,
+    RelProduct,
+    Select,
+    SeqJoin,
+    Union,
+    scan,
+)
+from .classify import Classification, IMClass, Language, classify, im_class_of, language_of
+from .delta_engine import propagate
+from .evaluate import evaluate
+from .validate import validate_ca, validate_ca1, validate_ca_join
+
+__all__ = [
+    "Node",
+    "ChronicleScan",
+    "Select",
+    "Project",
+    "SeqJoin",
+    "Union",
+    "Difference",
+    "GroupBySeq",
+    "RelProduct",
+    "RelKeyJoin",
+    "ChronicleProduct",
+    "NonEquiSeqJoin",
+    "scan",
+    "propagate",
+    "evaluate",
+    "classify",
+    "language_of",
+    "im_class_of",
+    "Classification",
+    "Language",
+    "IMClass",
+    "validate_ca",
+    "validate_ca1",
+    "validate_ca_join",
+]

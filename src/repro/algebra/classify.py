@@ -1,0 +1,165 @@
+"""Language classification and incremental-complexity accounting.
+
+Given an operator tree, :func:`classify` determines the smallest language
+fragment containing it — CA1 ⊂ CA⋈ ⊂ CA, or NOT_CA for expressions using
+the extension operators — and counts the parameters of the Theorem 4.2
+complexity formulas:
+
+* ``u`` — number of union operators;
+* ``j`` — number of equijoins and chronicle-relation products/joins;
+* ``max_relation_size`` — |R| for the formulas' relation factor.
+
+The summarization step then maps fragments to the incremental maintenance
+classes of Section 3 (Theorem 4.5):
+
+====================  =================
+fragment (of χ)        IM class of SCA-χ
+====================  =================
+CA1                    IM-Constant
+CA⋈                    IM-log(R)
+CA                     IM-R^k
+NOT_CA                 IM-C^k
+====================  =================
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, List, Optional
+
+from ..relational.predicate import Predicate
+from .ast import (
+    ChronicleProduct,
+    Node,
+    NonEquiSeqJoin,
+    RelKeyJoin,
+    RelProduct,
+    Select,
+    SeqJoin,
+    Union as UnionNode,
+)
+from .validate import predicate_in_ca_fragment
+
+
+class Language(enum.Enum):
+    """Chronicle-algebra fragments, ordered by containment."""
+
+    CA1 = "CA1"
+    CA_JOIN = "CA-join"
+    CA = "CA"
+    NOT_CA = "not-CA"
+
+    def __le__(self, other: "Language") -> bool:
+        order = [Language.CA1, Language.CA_JOIN, Language.CA, Language.NOT_CA]
+        return order.index(self) <= order.index(other)
+
+
+class IMClass(enum.Enum):
+    """Incremental maintenance complexity classes (Section 3)."""
+
+    CONSTANT = "IM-Constant"
+    LOG_R = "IM-log(R)"
+    POLY_R = "IM-R^k"
+    POLY_C = "IM-C^k"
+
+    def __le__(self, other: "IMClass") -> bool:
+        order = [IMClass.CONSTANT, IMClass.LOG_R, IMClass.POLY_R, IMClass.POLY_C]
+        return order.index(self) <= order.index(other)
+
+
+#: Theorem 4.5 mapping from fragment of χ to IM class of the SCA view.
+IM_CLASS_OF = {
+    Language.CA1: IMClass.CONSTANT,
+    Language.CA_JOIN: IMClass.LOG_R,
+    Language.CA: IMClass.POLY_R,
+    Language.NOT_CA: IMClass.POLY_C,
+}
+
+
+class Classification:
+    """The result of :func:`classify`.
+
+    Attributes
+    ----------
+    language:
+        Smallest fragment containing the expression.
+    im_class:
+        IM class of a summarized view over the expression (Theorem 4.5).
+    unions, joins:
+        The u and j of the Theorem 4.2 formulas.
+    max_relation_size:
+        Largest referenced relation (0 when none), the formulas' |R|.
+    """
+
+    __slots__ = ("language", "unions", "joins", "max_relation_size")
+
+    def __init__(self, language: Language, unions: int, joins: int,
+                 max_relation_size: int) -> None:
+        self.language = language
+        self.unions = unions
+        self.joins = joins
+        self.max_relation_size = max_relation_size
+
+    @property
+    def im_class(self) -> IMClass:
+        return IM_CLASS_OF[self.language]
+
+    def delta_size_bound(self) -> float:
+        """Theorem 4.2's space bound on the delta of the expression.
+
+        O((u |R|)^j) for CA, O(u^j) for CA⋈/CA1 — evaluated with u and
+        |R| floored at 1 so the bound is meaningful for small expressions.
+        """
+        u = max(self.unions + 1, 1)
+        j = self.joins
+        if self.language is Language.CA:
+            r = max(self.max_relation_size, 1)
+            return float((u * r) ** j) if j else float(u)
+        return float(u ** j) if j else float(u)
+
+    def __repr__(self) -> str:
+        return (
+            f"Classification({self.language.value}, u={self.unions}, "
+            f"j={self.joins}, |R|={self.max_relation_size}, "
+            f"im={self.im_class.value})"
+        )
+
+
+def classify(node: Node) -> Classification:
+    """Classify an operator tree into its smallest language fragment."""
+    language = Language.CA1
+    unions = 0
+    joins = 0
+    max_relation = 0
+    for sub in node.walk():
+        if isinstance(sub, (ChronicleProduct, NonEquiSeqJoin)):
+            language = Language.NOT_CA
+            joins += 1
+        elif isinstance(sub, RelProduct):
+            if language is not Language.NOT_CA:
+                language = Language.CA
+            joins += 1
+            max_relation = max(max_relation, len(sub.relation))
+        elif isinstance(sub, RelKeyJoin):
+            if language is Language.CA1:
+                language = Language.CA_JOIN
+            joins += 1
+            max_relation = max(max_relation, len(sub.relation))
+        elif isinstance(sub, SeqJoin):
+            joins += 1
+        elif isinstance(sub, UnionNode):
+            unions += 1
+        elif isinstance(sub, Select):
+            if language is not Language.NOT_CA and not predicate_in_ca_fragment(sub.predicate):
+                language = Language.NOT_CA
+    return Classification(language, unions, joins, max_relation)
+
+
+def language_of(node: Node) -> Language:
+    """Shorthand: just the fragment of :func:`classify`."""
+    return classify(node).language
+
+
+def im_class_of(node: Node) -> IMClass:
+    """IM class of a summarized view over *node* (Theorem 4.5)."""
+    return classify(node).im_class

@@ -1,0 +1,6 @@
+"""Baselines: full recomputation (IM-C^k) and procedural summary fields."""
+
+from .recompute import RecomputeMaintainer
+from .trigger import BuggyTriggerUpdater, TriggerStyleUpdater
+
+__all__ = ["RecomputeMaintainer", "TriggerStyleUpdater", "BuggyTriggerUpdater"]

@@ -1,0 +1,130 @@
+"""Hand-coded summary-field updater: the status-quo the paper motivates
+against.
+
+Section 1: "an application program may define a few summary fields (e.g.,
+minutes_called, dollar_balance) for each customer, and update these fields
+whenever a new transaction is processed … the logic to update the summary
+fields due to a transaction is encoded procedurally, and the burden of
+writing this code is with the application programmer.  This updating code
+is known to be very tricky, and has been the cause of well-publicized
+banking disasters."
+
+:class:`TriggerStyleUpdater` is that procedural code, faithfully: a dict
+of summary fields and a user-supplied update procedure per transaction
+type.  It is fast (that is why applications do it) but offers none of the
+declarative guarantees — and :class:`BuggyTriggerUpdater` reproduces the
+February 18, 1994 Chemical Bank failure mode (double-applied updates) that
+the examples and tests contrast with the chronicle model's correctness.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, Mapping, Optional, Tuple
+
+from ..core.group import ChronicleGroup
+from ..relational.tuples import Row
+
+#: A procedural update: (summary_fields_for_key, transaction_row) -> None,
+#: mutating the fields in place.
+UpdateProcedure = Callable[[Dict[str, Any], Row], None]
+
+
+class TriggerStyleUpdater:
+    """Procedurally maintained per-key summary fields.
+
+    Parameters
+    ----------
+    key_attribute:
+        Transaction attribute identifying the account/customer.
+    initial_fields:
+        Factory for a fresh key's summary fields.
+    procedure:
+        The hand-written update code, run once per transaction.
+    """
+
+    def __init__(
+        self,
+        key_attribute: str,
+        initial_fields: Callable[[], Dict[str, Any]],
+        procedure: UpdateProcedure,
+    ) -> None:
+        self.key_attribute = key_attribute
+        self._initial_fields = initial_fields
+        self._procedure = procedure
+        self._fields: Dict[Hashable, Dict[str, Any]] = {}
+        self._processed = 0
+
+    def process(self, row: Row) -> None:
+        """Run the update procedure for one transaction."""
+        key = row[self.key_attribute]
+        fields = self._fields.get(key)
+        if fields is None:
+            fields = self._initial_fields()
+            self._fields[key] = fields
+        self._procedure(fields, row)
+        self._processed += 1
+
+    def on_event(self, group: ChronicleGroup, event: Mapping[str, Tuple[Row, ...]]) -> None:
+        """Append listener: run the procedure per transaction row."""
+        for rows in event.values():
+            for row in rows:
+                self.process(row)
+
+    def attach(self, group: ChronicleGroup) -> None:
+        group.subscribe(self.on_event)
+
+    # -- queries -------------------------------------------------------------------
+
+    def fields(self, key: Hashable) -> Optional[Dict[str, Any]]:
+        """The summary fields for *key* (None when unseen)."""
+        fields = self._fields.get(key)
+        return dict(fields) if fields is not None else None
+
+    def value(self, key: Hashable, field: str) -> Any:
+        fields = self._fields.get(key)
+        return None if fields is None else fields.get(field)
+
+    @property
+    def processed_count(self) -> int:
+        return self._processed
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def __repr__(self) -> str:
+        return (
+            f"TriggerStyleUpdater(key={self.key_attribute!r}, "
+            f"keys={len(self._fields)}, processed={self._processed})"
+        )
+
+
+class BuggyTriggerUpdater(TriggerStyleUpdater):
+    """The Chemical Bank failure mode: updates applied twice.
+
+    On February 18, 1994, buggy updating software applied ATM withdrawal
+    updates incorrectly, bouncing checks for thousands of customers
+    [NYT94].  This subclass deterministically double-applies every
+    *n*-th update — the class of bug that hand-written summary-field
+    code invites and that a declaratively defined persistent view makes
+    impossible.  Used by ``examples/banking_atm.py`` and the failure-
+    injection tests.
+    """
+
+    def __init__(
+        self,
+        key_attribute: str,
+        initial_fields: Callable[[], Dict[str, Any]],
+        procedure: UpdateProcedure,
+        double_apply_every: int = 97,
+    ) -> None:
+        super().__init__(key_attribute, initial_fields, procedure)
+        if double_apply_every <= 0:
+            raise ValueError("double_apply_every must be positive")
+        self.double_apply_every = double_apply_every
+
+    def process(self, row: Row) -> None:
+        super().process(row)
+        if self._processed % self.double_apply_every == 0:
+            # The bug: the procedure runs a second time for this record.
+            key = row[self.key_attribute]
+            self._procedure(self._fields[key], row)

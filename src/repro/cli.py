@@ -1,0 +1,282 @@
+"""Command-line interface: an interactive chronicle-database session.
+
+Run ``python -m repro.cli`` for a REPL, or ``python -m repro.cli script``
+to execute a semicolon-terminated statement file.  The statement language
+wraps the library's view-definition language with catalog and data
+commands::
+
+    CREATE CHRONICLE calls (caller INT, minutes INT) RETENTION 0;
+    CREATE RELATION subscribers (number INT, state STR) KEY (number);
+    INSERT subscribers {"number": 5551234, "state": "NJ"};
+    DEFINE VIEW usage AS
+        SELECT caller, SUM(minutes) AS total FROM calls GROUP BY caller;
+    APPEND calls {"caller": 5551234, "minutes": 12};
+    QUERY usage 5551234;
+    SHOW VIEW usage;
+    SHOW CATALOG;
+    CHECKPOINT /tmp/db.ckpt;
+    RESTORE /tmp/db.ckpt;
+
+Records are JSON objects.  The module is import-safe: :class:`Session`
+executes statements and returns text, so tests drive it directly.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from typing import Any, List, Optional, Tuple
+
+from .core.database import ChronicleDatabase
+from .errors import ChronicleError
+
+_ATTR_LIST = re.compile(r"\(\s*(.*?)\s*\)", re.S)
+
+
+class CliError(ChronicleError):
+    """A malformed CLI statement."""
+
+
+def _parse_attr_list(text: str, what: str) -> List[Tuple[str, str]]:
+    match = _ATTR_LIST.search(text)
+    if not match:
+        raise CliError(f"{what}: expected a parenthesized attribute list")
+    attrs = []
+    for part in match.group(1).split(","):
+        pieces = part.split()
+        if len(pieces) != 2:
+            raise CliError(f"{what}: bad attribute spec {part.strip()!r}")
+        attrs.append((pieces[0], pieces[1].upper()))
+    return attrs
+
+
+def _parse_json_payload(text: str, what: str) -> Any:
+    brace = text.find("{")
+    bracket = text.find("[")
+    start = min(p for p in (brace, bracket) if p >= 0) if max(brace, bracket) >= 0 else -1
+    if start < 0:
+        raise CliError(f"{what}: expected a JSON record after the name")
+    try:
+        return json.loads(text[start:])
+    except json.JSONDecodeError as exc:
+        raise CliError(f"{what}: bad JSON ({exc})") from None
+
+
+def _format_rows(rows: List[Any], limit: int = 20) -> str:
+    lines = []
+    for index, row in enumerate(rows):
+        if index >= limit:
+            lines.append(f"... ({len(rows) - limit} more rows)")
+            break
+        lines.append(
+            "  " + ", ".join(f"{k}={v!r}" for k, v in row.as_dict().items())
+        )
+    return "\n".join(lines) if lines else "  (empty)"
+
+
+class Session:
+    """One CLI session over a fresh :class:`ChronicleDatabase`."""
+
+    def __init__(self) -> None:
+        self.db = ChronicleDatabase()
+
+    # -- statement dispatch ----------------------------------------------------------
+
+    def execute(self, statement: str) -> str:
+        """Execute one (semicolon-free) statement; returns display text."""
+        statement = statement.strip()
+        if not statement or statement.startswith("--"):
+            return ""
+        words = statement.split()
+        head = words[0].upper()
+        second = words[1].upper() if len(words) > 1 else ""
+        if head == "CREATE" and second == "CHRONICLE":
+            return self._create_chronicle(statement, words)
+        if head == "CREATE" and second == "RELATION":
+            return self._create_relation(statement, words)
+        if head == "DEFINE":
+            view = self.db.define_view(statement)
+            if hasattr(view, "language"):
+                return (
+                    f"view {view.name} defined "
+                    f"[{view.language.value}, {view.im_class.value}]"
+                )
+            return f"periodic view {view.name} defined over {view.calendar!r}"
+        if head == "INSERT":
+            return self._insert(statement, words)
+        if head == "APPEND":
+            return self._append(statement, words)
+        if head == "QUERY":
+            return self._query(words)
+        if head == "SHOW":
+            return self._show(words)
+        if head == "CHECKPOINT":
+            self.db.checkpoint(self._path_arg(words, "CHECKPOINT"))
+            return "checkpoint written"
+        if head == "RESTORE":
+            self.db.restore(self._path_arg(words, "RESTORE"))
+            return "checkpoint restored"
+        raise CliError(f"unknown statement {head!r} (try SHOW CATALOG)")
+
+    @staticmethod
+    def _path_arg(words: List[str], what: str) -> str:
+        if len(words) != 2:
+            raise CliError(f"{what}: expected exactly one path argument")
+        return words[1]
+
+    # -- handlers -----------------------------------------------------------------------
+
+    def _create_chronicle(self, statement: str, words: List[str]) -> str:
+        if len(words) < 3:
+            raise CliError("CREATE CHRONICLE: missing name")
+        name = words[2].split("(")[0]
+        attrs = _parse_attr_list(statement, "CREATE CHRONICLE")
+        retention: Optional[int] = None
+        match = re.search(r"RETENTION\s+(\d+)", statement, re.I)
+        if match:
+            retention = int(match.group(1))
+        self.db.create_chronicle(name, attrs, retention=retention)
+        keep = "all" if retention is None else retention
+        return f"chronicle {name} created (retention={keep})"
+
+    def _create_relation(self, statement: str, words: List[str]) -> str:
+        if len(words) < 3:
+            raise CliError("CREATE RELATION: missing name")
+        name = words[2].split("(")[0]
+        body = statement
+        key: Optional[List[str]] = None
+        key_match = re.search(r"KEY\s*\(\s*([^)]*?)\s*\)\s*$", statement, re.I)
+        if key_match:
+            key = [part.strip() for part in key_match.group(1).split(",")]
+            body = statement[: key_match.start()]
+        attrs = _parse_attr_list(body, "CREATE RELATION")
+        self.db.create_relation(name, attrs, key=key)
+        return f"relation {name} created" + (f" (key {', '.join(key)})" if key else "")
+
+    def _insert(self, statement: str, words: List[str]) -> str:
+        if len(words) < 2:
+            raise CliError("INSERT: missing relation name")
+        name = words[1]
+        payload = _parse_json_payload(statement, "INSERT")
+        records = payload if isinstance(payload, list) else [payload]
+        relation = self.db.relation(name)
+        for record in records:
+            relation.insert(record)
+        return f"{len(records)} row(s) inserted into {name}"
+
+    def _append(self, statement: str, words: List[str]) -> str:
+        if len(words) < 2:
+            raise CliError("APPEND: missing chronicle name")
+        name = words[1]
+        payload = _parse_json_payload(statement, "APPEND")
+        rows = self.db.append(name, payload)
+        return f"appended {len(rows)} record(s) at sequence {rows[0].sequence_number}"
+
+    def _query(self, words: List[str]) -> str:
+        if len(words) < 2:
+            raise CliError("QUERY: expected QUERY view [key values...]")
+        name = words[1]
+        view = self.db.view(name)
+        if len(words) == 2:
+            return _format_rows(sorted(view.rows(), key=lambda r: r.values))
+        key = tuple(json.loads(word) for word in words[2:])
+        row = view.lookup(key)
+        if row is None:
+            return f"  no row for key {key}"
+        return _format_rows([row])
+
+    def _show(self, words: List[str]) -> str:
+        target = words[1].upper() if len(words) > 1 else "CATALOG"
+        if target == "CATALOG":
+            lines = []
+            for name in sorted(self.db._chronicle_group):
+                chronicle = self.db.chronicle(name)
+                lines.append(
+                    f"  chronicle {name}: {chronicle.appended_count} appended, "
+                    f"{len(list(chronicle.schema.names))} attributes"
+                )
+            for name in sorted(self.db.relations):
+                lines.append(f"  relation {name}: {len(self.db.relations[name])} rows")
+            for view in self.db.registry.views():
+                lines.append(
+                    f"  view {view.name}: {len(view)} rows "
+                    f"[{view.language.value}, {view.im_class.value}]"
+                )
+            return "\n".join(lines) if lines else "  (empty catalog)"
+        if target == "VIEW":
+            if len(words) < 3:
+                raise CliError("SHOW VIEW: missing view name")
+            view = self.db.view(words[2])
+            return _format_rows(sorted(view.rows(), key=lambda r: r.values))
+        raise CliError(f"SHOW: unknown target {target!r}")
+
+    # -- statement splitting ----------------------------------------------------------
+
+    @staticmethod
+    def split_statements(text: str) -> List[str]:
+        """Split script text into semicolon-terminated statements.
+
+        Semicolons inside single-quoted strings are respected.
+        """
+        statements, current, in_string = [], [], False
+        for char in text:
+            if char == "'":
+                in_string = not in_string
+            if char == ";" and not in_string:
+                statements.append("".join(current))
+                current = []
+            else:
+                current.append(char)
+        tail = "".join(current).strip()
+        if tail:
+            statements.append(tail)
+        return [s for s in (s.strip() for s in statements) if s]
+
+    def run_script(self, text: str, out: Any = None) -> int:
+        """Execute a script; returns the number of failed statements."""
+        out = out if out is not None else sys.stdout
+        failures = 0
+        for statement in self.split_statements(text):
+            try:
+                result = self.execute(statement)
+                if result:
+                    out.write(result + "\n")
+            except ChronicleError as exc:
+                failures += 1
+                out.write(f"error: {exc}\n")
+        return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    session = Session()
+    if argv:
+        with open(argv[0]) as handle:
+            return 1 if session.run_script(handle.read()) else 0
+    sys.stdout.write(
+        "chronicle database shell — statements end with ';' "
+        "(SHOW CATALOG; to inspect, Ctrl-D to exit)\n"
+    )
+    buffer: List[str] = []
+    try:
+        while True:
+            prompt = "chronicle> " if not buffer else "       ...> "
+            sys.stdout.write(prompt)
+            sys.stdout.flush()
+            line = sys.stdin.readline()
+            if not line:
+                break
+            buffer.append(line)
+            text = "".join(buffer)
+            if ";" in line:
+                buffer = []
+                session.run_script(text)
+    except KeyboardInterrupt:
+        pass
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

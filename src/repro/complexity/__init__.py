@@ -1,0 +1,20 @@
+"""Measurement kit: cost counters, sweep harness, complexity fitting."""
+
+from .counters import GLOBAL_COUNTERS, CostCounters
+from .fitting import Fit, FitResult, fit_series, growth_ratio, is_flat
+from .harness import Measurement, Sweep, format_table, measure, report
+
+__all__ = [
+    "CostCounters",
+    "GLOBAL_COUNTERS",
+    "fit_series",
+    "Fit",
+    "FitResult",
+    "growth_ratio",
+    "is_flat",
+    "Sweep",
+    "Measurement",
+    "measure",
+    "format_table",
+    "report",
+]

@@ -1,0 +1,99 @@
+"""Instrumented cost model.
+
+The paper's complexity classes (Section 3) are stated "modulo the overhead
+of index lookups": IM-Constant forbids even index lookups, IM-log(R)
+charges one index probe per maintained tuple, and so on.  Wall-clock time
+on a laptop is noisy at these scales, so alongside timing we count the
+*operations* the theorems actually bound:
+
+* ``index_probe``   — one comparison/hash step inside an index;
+* ``index_lookup``  — one completed index lookup;
+* ``tuple_op``      — one tuple produced, matched, or aggregated;
+* ``chronicle_read``— one tuple read from a chronicle store (must be 0
+  during incremental maintenance — the no-access rule);
+* ``view_read``     — one tuple read back from a materialized view other
+  than the O(log |V|) locate step.
+
+A single process-wide :data:`GLOBAL_COUNTERS` instance is threaded through
+the storage and maintenance layers; benchmarks snapshot and diff it.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+
+class CostCounters:
+    """A mutable bundle of named operation counters."""
+
+    EVENTS = (
+        "index_probe",
+        "index_lookup",
+        "tuple_op",
+        "chronicle_read",
+        "view_read",
+        "aggregate_step",
+    )
+
+    __slots__ = ("counts", "enabled")
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {event: 0 for event in self.EVENTS}
+        self.enabled = True
+
+    def count(self, event: str, amount: int = 1) -> None:
+        """Record *amount* occurrences of *event*."""
+        if self.enabled:
+            self.counts[event] += amount
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for event in self.counts:
+            self.counts[event] = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """A copy of the current counter values."""
+        return dict(self.counts)
+
+    def diff(self, before: Dict[str, int]) -> Dict[str, int]:
+        """Counter deltas since *before* (a prior :meth:`snapshot`)."""
+        return {event: self.counts[event] - before.get(event, 0) for event in self.counts}
+
+    @property
+    def total(self) -> int:
+        """Sum of all counters — a crude single-number cost."""
+        return sum(self.counts.values())
+
+    @contextmanager
+    def measure(self) -> Iterator[Dict[str, int]]:
+        """Context manager yielding a dict filled with deltas on exit.
+
+        >>> with GLOBAL_COUNTERS.measure() as cost:
+        ...     do_work()
+        >>> cost["index_probe"]
+        """
+        before = self.snapshot()
+        result: Dict[str, int] = {}
+        try:
+            yield result
+        finally:
+            result.update(self.diff(before))
+
+    @contextmanager
+    def disabled(self) -> Iterator[None]:
+        """Temporarily suspend counting (setup code in benchmarks)."""
+        previous = self.enabled
+        self.enabled = False
+        try:
+            yield
+        finally:
+            self.enabled = previous
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.counts.items() if v)
+        return f"CostCounters({inner or 'zero'})"
+
+
+#: Process-wide counters used by default throughout the library.
+GLOBAL_COUNTERS = CostCounters()

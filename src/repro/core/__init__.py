@@ -1,0 +1,32 @@
+"""Chronicle model kernel: sequences, chronicles, groups, deltas.
+
+The database façade lives in :mod:`repro.core.database`; it is imported
+lazily by :mod:`repro` to keep this package cycle-free.
+"""
+
+from .chronicle import Chronicle, in_maintenance, maintenance_guard
+from .delta import Delta
+from .group import ChronicleGroup, chronicle_schema
+from .sequence import (
+    ChrononMapper,
+    IdentityChronons,
+    LinearChronons,
+    RecordedChronons,
+    SequenceIssuer,
+    SequenceNumber,
+)
+
+__all__ = [
+    "Chronicle",
+    "ChronicleGroup",
+    "chronicle_schema",
+    "Delta",
+    "maintenance_guard",
+    "in_maintenance",
+    "SequenceNumber",
+    "SequenceIssuer",
+    "ChrononMapper",
+    "IdentityChronons",
+    "LinearChronons",
+    "RecordedChronons",
+]

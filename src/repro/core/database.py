@@ -1,0 +1,335 @@
+"""The chronicle database: the quadruple (C, R, L, V) of Definition 2.1.
+
+:class:`ChronicleDatabase` is the user-facing façade assembling the whole
+system:
+
+* **C** — chronicles, organized into chronicle groups with shared
+  sequence-number domains;
+* **R** — relations, wrapped in :class:`~repro.relational.versioned
+  .VersionedRelation` so that only proactive updates are possible
+  (Section 2.3);
+* **L** — the view-definition language: either the SQL-like text language
+  (:mod:`repro.query`) or programmatic :class:`~repro.sca.summarize
+  .Summary` objects;
+* **V** — persistent views, maintained through the
+  :class:`~repro.views.registry.ViewRegistry` (with affected-view
+  filtering) on every append.
+
+Typical use::
+
+    db = ChronicleDatabase()
+    db.create_chronicle("flights", [("acct", "INT"), ("miles", "INT")])
+    db.create_relation("customers", [("acct", "INT"), ("name", "STR")], key=["acct"])
+    db.define_view(\"\"\"
+        DEFINE VIEW balance AS
+        SELECT acct, SUM(miles) AS balance FROM flights GROUP BY acct
+    \"\"\")
+    db.append("flights", {"acct": 7, "miles": 250})
+    db.view("balance").value((7,), "balance")
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..aggregates.registry import AggregateRegistry, default_registry
+from ..errors import ChronicleGroupError, ViewRegistrationError
+from ..query.compiler import Catalog, Compiler
+from ..relational.schema import Schema
+from ..relational.tuples import Row
+from ..relational.versioned import VersionedRelation
+from ..sca.summarize import Summary
+from ..sca.view import PersistentView
+from ..views.periodic import PeriodicViewSet
+from ..views.registry import ViewRegistry
+from .chronicle import Chronicle, RowValues
+from .group import ChronicleGroup
+from .sequence import ChrononMapper, SequenceNumber
+
+DEFAULT_GROUP = "default"
+
+
+class ChronicleDatabase:
+    """A chronicle database system (C, R, L, V).
+
+    Parameters
+    ----------
+    prefilter_views:
+        Enable the Section 5.2 affected-view prefilter in the registry.
+    aggregates:
+        Aggregate registry for the view language; defaults to a fresh
+        copy of the standard registry.
+    """
+
+    def __init__(
+        self,
+        prefilter_views: bool = True,
+        aggregates: Optional[AggregateRegistry] = None,
+    ) -> None:
+        self.groups: Dict[str, ChronicleGroup] = {}
+        self.relations: Dict[str, VersionedRelation] = {}
+        self.registry = ViewRegistry(prefilter=prefilter_views)
+        self.aggregates = aggregates if aggregates is not None else default_registry()
+        self._chronicle_group: Dict[str, str] = {}  # chronicle name -> group name
+
+    # -- catalog --------------------------------------------------------------------
+
+    def create_group(
+        self,
+        name: str,
+        chronons: Optional[ChrononMapper] = None,
+        start: SequenceNumber = 0,
+    ) -> ChronicleGroup:
+        """Create a chronicle group (a fresh sequence-number domain)."""
+        if name in self.groups:
+            raise ChronicleGroupError(f"group {name!r} already exists")
+        group = ChronicleGroup(name, chronons=chronons, start=start)
+        group.subscribe(self.registry.on_event)
+        self.groups[name] = group
+        return group
+
+    def group(self, name: str = DEFAULT_GROUP) -> ChronicleGroup:
+        """Fetch a group, lazily creating the default group."""
+        if name not in self.groups:
+            if name == DEFAULT_GROUP:
+                return self.create_group(name)
+            raise ChronicleGroupError(f"no group named {name!r}")
+        return self.groups[name]
+
+    def create_chronicle(
+        self,
+        name: str,
+        schema: Union[Schema, Sequence[Tuple[str, Any]]],
+        retention: Optional[int] = None,
+        group: str = DEFAULT_GROUP,
+    ) -> Chronicle:
+        """Create a chronicle in *group* (created on demand)."""
+        if name in self._chronicle_group:
+            raise ChronicleGroupError(f"chronicle {name!r} already exists")
+        if name in self.relations:
+            raise ChronicleGroupError(f"{name!r} already names a relation")
+        chronicle = self.group(group).create_chronicle(name, schema, retention=retention)
+        self._chronicle_group[name] = group
+        return chronicle
+
+    def chronicle(self, name: str) -> Chronicle:
+        """Fetch a chronicle by name."""
+        group_name = self._chronicle_group.get(name)
+        if group_name is None:
+            raise ChronicleGroupError(f"no chronicle named {name!r}")
+        return self.groups[group_name][name]
+
+    def create_relation(
+        self,
+        name: str,
+        schema: Union[Schema, Sequence[Tuple[str, Any]]],
+        key: Optional[Sequence[str]] = None,
+        group: str = DEFAULT_GROUP,
+        keep_history: bool = True,
+    ) -> VersionedRelation:
+        """Create a relation whose proactivity watermark tracks *group*."""
+        if name in self.relations:
+            raise ChronicleGroupError(f"relation {name!r} already exists")
+        if name in self._chronicle_group:
+            raise ChronicleGroupError(f"{name!r} already names a chronicle")
+        if not isinstance(schema, Schema):
+            schema = Schema.build(*schema, key=list(key) if key else None)
+        owner = self.group(group)
+        relation = VersionedRelation(
+            name, schema, watermark=lambda: owner.watermark, keep_history=keep_history
+        )
+        self.relations[name] = relation
+        return relation
+
+    def relation(self, name: str) -> VersionedRelation:
+        """Fetch a relation by name."""
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise ChronicleGroupError(f"no relation named {name!r}") from None
+
+    def catalog(self) -> Catalog:
+        """A name-resolution catalog over the current chronicles/relations."""
+        chronicles = {
+            name: self.groups[group][name]
+            for name, group in self._chronicle_group.items()
+        }
+        return Catalog(chronicles, dict(self.relations))
+
+    # -- view definition (the language L) -----------------------------------------------
+
+    def define_view(
+        self,
+        definition: Union[str, Summary],
+        name: Optional[str] = None,
+        materialize: bool = True,
+    ) -> Union[PersistentView, PeriodicViewSet]:
+        """Define and register a persistent view.
+
+        *definition* is either ``DEFINE [PERIODIC] VIEW`` text or a
+        programmatic :class:`Summary` (then *name* is required).  With
+        *materialize*, the view is initialized from currently stored
+        chronicle history ("materialized when it is initially defined",
+        Section 2.1).  ``DEFINE PERIODIC VIEW name OVER …`` statements
+        return the :class:`PeriodicViewSet` (Section 5.1); the OVER
+        grammar is ``(EVERY w | WINDOW w [SLIDE s]) [STARTING o]
+        [EXPIRE AFTER e] [BY column]``.
+        """
+        if isinstance(definition, str):
+            compiler = Compiler(self.catalog(), self.aggregates)
+            compiled = compiler.compile_definition(definition)
+            if compiled.is_periodic:
+                return self._define_periodic_from_compiled(compiled, name)
+            view_name, summary = compiled.name, compiled.summary
+            if name is not None:
+                view_name = name
+        else:
+            if name is None:
+                raise ViewRegistrationError("a programmatic view needs a name")
+            view_name, summary = name, definition
+        view = PersistentView(view_name, summary)
+        self.registry.register(view)
+        if materialize:
+            chronicles = summary.expression.chronicles()
+            if any(c.appended_count and c.retention != 0 for c in chronicles):
+                view.initialize_from_store()
+        return view
+
+    def _define_periodic_from_compiled(
+        self, compiled: Any, name: Optional[str]
+    ) -> PeriodicViewSet:
+        from ..views.calendar import PeriodicCalendar
+
+        spec = compiled.periodic
+        calendar = PeriodicCalendar(spec.origin, spec.width, stride=spec.stride)
+        view_set = PeriodicViewSet(
+            name or compiled.name,
+            compiled.summary,
+            calendar,
+            chronon_of=compiled.chronon_of,
+            expire_after=spec.expire_after,
+        )
+        chronicles = compiled.summary.expression.chronicles()
+        owner = chronicles[0].group
+        self.registry.register_periodic(view_set, owner)
+        return view_set
+
+    def define_periodic_view(
+        self,
+        name: str,
+        definition: Union[str, Summary],
+        calendar: Any,
+        group: str = DEFAULT_GROUP,
+        chronon_of: Optional[Any] = None,
+        expire_after: Optional[float] = None,
+        on_expire: Optional[Any] = None,
+    ) -> PeriodicViewSet:
+        """Define a periodic view V⟨D⟩ over *calendar* (Section 5.1)."""
+        if isinstance(definition, str):
+            compiler = Compiler(self.catalog(), self.aggregates)
+            _, summary = compiler.compile_view(definition)
+        else:
+            summary = definition
+        view_set = PeriodicViewSet(
+            name,
+            summary,
+            calendar,
+            chronon_of=chronon_of,
+            expire_after=expire_after,
+            on_expire=on_expire,
+        )
+        self.registry.register_periodic(view_set, self.group(group))
+        return view_set
+
+    def drop_view(self, name: str) -> None:
+        """Unregister a persistent or periodic view."""
+        self.registry.unregister(name)
+
+    def view(self, name: str) -> PersistentView:
+        """Fetch a registered persistent view."""
+        return self.registry.view(name)
+
+    def periodic_view(self, name: str) -> PeriodicViewSet:
+        """Fetch a registered periodic view set."""
+        return self.registry.periodic(name)
+
+    # -- updates -------------------------------------------------------------------------
+
+    def append(
+        self,
+        chronicle: str,
+        records: Union[RowValues, Sequence[RowValues]],
+        sequence_number: Optional[SequenceNumber] = None,
+        instant: Optional[float] = None,
+    ) -> Tuple[Row, ...]:
+        """Append one transaction batch; persistent views update before
+        this call returns (the ATM requirement of Section 1)."""
+        group_name = self._chronicle_group.get(chronicle)
+        if group_name is None:
+            raise ChronicleGroupError(f"no chronicle named {chronicle!r}")
+        return self.groups[group_name].append(
+            chronicle, records, sequence_number=sequence_number, instant=instant
+        )
+
+    def append_simultaneous(
+        self,
+        batches: Mapping[str, Union[RowValues, Sequence[RowValues]]],
+        group: str = DEFAULT_GROUP,
+        sequence_number: Optional[SequenceNumber] = None,
+        instant: Optional[float] = None,
+    ) -> Dict[str, Tuple[Row, ...]]:
+        """Append to several chronicles at one sequence number."""
+        return self.group(group).append_simultaneous(
+            batches, sequence_number=sequence_number, instant=instant
+        )
+
+    def update_relation(self, name: str, key: Sequence[Any], **changes: Any) -> bool:
+        """Proactively update a relation row (Section 2.3)."""
+        return self.relation(name).update_key(key, **changes)
+
+    # -- queries ---------------------------------------------------------------------------
+
+    def query_view(self, name: str, key: Sequence[Any]) -> Optional[Row]:
+        """Summary query: the view row at *key* — no chronicle access."""
+        return self.view(name).lookup(key)
+
+    def view_value(self, name: str, key: Sequence[Any], output: str) -> Any:
+        """Summary query returning a single output attribute."""
+        return self.view(name).value(key, output)
+
+    def detail_window(
+        self, chronicle: str, low: Optional[int] = None, high: Optional[int] = None
+    ) -> List[Row]:
+        """Detail query over a chronicle's retained window (Section 2.2)."""
+        return self.chronicle(chronicle).window(low, high)
+
+    # -- durability --------------------------------------------------------------------
+
+    def checkpoint(self, path: str) -> None:
+        """Write a durable snapshot of watermarks, relations, and views.
+
+        Chronicles themselves are streams and are not stored; the views'
+        materialized rows and aggregate accumulators — the only copy of
+        the summarized history — are what the checkpoint protects.
+        """
+        from ..storage.checkpoint import checkpoint_database
+
+        checkpoint_database(self, path)
+
+    def restore(self, path: str) -> None:
+        """Restore view/relation state from :meth:`checkpoint` output.
+
+        The database must first be re-declared to the same shape (groups,
+        relations, view definitions); define views with
+        ``materialize=False`` since their state comes from the checkpoint.
+        """
+        from ..storage.checkpoint import restore_database
+
+        restore_database(self, path)
+
+    def __repr__(self) -> str:
+        return (
+            f"ChronicleDatabase(groups={sorted(self.groups)}, "
+            f"chronicles={sorted(self._chronicle_group)}, "
+            f"relations={sorted(self.relations)}, views={len(self.registry)})"
+        )

@@ -1,0 +1,235 @@
+"""Chronicle groups: shared sequence-number domains.
+
+"We define a chronicle group as a collection of chronicles whose sequence
+numbers are drawn from the same domain, along with the requirement that
+an insert into any chronicle in a chronicle group must have a sequence
+number greater than the sequence number of any tuple in the chronicle
+group" (Section 4).  Operations like union, difference and the
+sequence-number equijoin are only permitted between chronicles of the
+same group — the validator checks this structurally.
+
+The group is also the natural place for:
+
+* the append entry point (stamping batches, recording chronons,
+  notifying maintenance listeners);
+* the *watermark* that the proactive-update rule of Section 2.3 is
+  policed against;
+* simultaneous multi-chronicle appends sharing one sequence number
+  ("multiple tuples with the same sequence number can be inserted
+  simultaneously").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import ChronicleGroupError, SchemaError
+from ..relational.schema import Attribute, Schema
+from ..relational.tuples import Row
+from ..relational.types import SEQ
+from .chronicle import Chronicle, RowValues
+from .sequence import ChrononMapper, IdentityChronons, SequenceIssuer, SequenceNumber
+
+#: Listener signature: one call per append event, covering every chronicle
+#: touched at that sequence number: (group, {chronicle_name: stamped_rows}).
+AppendListener = Callable[["ChronicleGroup", Dict[str, Tuple[Row, ...]]], None]
+
+
+def chronicle_schema(
+    *attrs: "Tuple[str, Any] | Attribute",
+    sequence_attribute: str = "sn",
+) -> Schema:
+    """Build a chronicle schema: the given attributes plus the SEQ column.
+
+    The sequencing attribute is prepended unless an attribute of that
+    name is already present.
+    """
+    attributes: List[Attribute] = [
+        a if isinstance(a, Attribute) else Attribute(a[0], a[1]) for a in attrs
+    ]
+    names = [a.name for a in attributes]
+    if sequence_attribute not in names:
+        attributes.insert(0, Attribute(sequence_attribute, SEQ))
+    return Schema(attributes, sequence_attribute=sequence_attribute)
+
+
+class ChronicleGroup:
+    """A named collection of chronicles over one sequence-number domain."""
+
+    def __init__(
+        self,
+        name: str,
+        chronons: Optional[ChrononMapper] = None,
+        start: SequenceNumber = 0,
+    ) -> None:
+        self.name = name
+        self.chronicles: Dict[str, Chronicle] = {}
+        self.chronons = chronons if chronons is not None else IdentityChronons()
+        self._issuer = SequenceIssuer(start)
+        self._listeners: List[AppendListener] = []
+
+    # -- membership --------------------------------------------------------------
+
+    def create_chronicle(
+        self,
+        name: str,
+        schema: "Schema | Sequence[Tuple[str, Any]]",
+        retention: Optional[int] = None,
+    ) -> Chronicle:
+        """Create and register a chronicle in this group.
+
+        *schema* may be a ready chronicle :class:`Schema` or a sequence of
+        ``(name, domain)`` pairs, in which case an ``sn`` SEQ column is
+        added automatically.
+        """
+        if name in self.chronicles:
+            raise ChronicleGroupError(f"group {self.name!r} already has chronicle {name!r}")
+        if not isinstance(schema, Schema):
+            schema = chronicle_schema(*schema)
+        chronicle = Chronicle(name, schema, retention=retention)
+        chronicle.group = self
+        self.chronicles[name] = chronicle
+        return chronicle
+
+    def adopt(self, chronicle: Chronicle) -> Chronicle:
+        """Register an externally built chronicle into this group."""
+        if chronicle.name in self.chronicles:
+            raise ChronicleGroupError(
+                f"group {self.name!r} already has chronicle {chronicle.name!r}"
+            )
+        if chronicle.group is not None and chronicle.group is not self:
+            raise ChronicleGroupError(
+                f"chronicle {chronicle.name!r} already belongs to group "
+                f"{chronicle.group.name!r}"
+            )
+        chronicle.group = self
+        self.chronicles[chronicle.name] = chronicle
+        return chronicle
+
+    def __contains__(self, name: object) -> bool:
+        return name in self.chronicles
+
+    def __getitem__(self, name: str) -> Chronicle:
+        try:
+            return self.chronicles[name]
+        except KeyError:
+            raise ChronicleGroupError(
+                f"group {self.name!r} has no chronicle {name!r}"
+            ) from None
+
+    # -- watermark ----------------------------------------------------------------
+
+    @property
+    def watermark(self) -> SequenceNumber:
+        """Highest sequence number seen by the group (-1 before any)."""
+        return self._issuer.watermark
+
+    def next_sequence_number(self) -> SequenceNumber:
+        """The sequence number the next append will receive (peek)."""
+        return self._issuer.watermark + 1
+
+    # -- listeners ------------------------------------------------------------------
+
+    def subscribe(self, listener: AppendListener) -> None:
+        """Register a maintenance listener called after every append."""
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: AppendListener) -> None:
+        """Remove a previously registered listener."""
+        self._listeners.remove(listener)
+
+    # -- appends ----------------------------------------------------------------------
+
+    def append(
+        self,
+        chronicle: "Chronicle | str",
+        records: Union[RowValues, Sequence[RowValues]],
+        sequence_number: Optional[SequenceNumber] = None,
+        instant: Optional[float] = None,
+    ) -> Tuple[Row, ...]:
+        """Append one batch of records at a single fresh sequence number.
+
+        *records* is one record or a list of records; all share the newly
+        issued (or validated externally supplied) sequence number.
+        Returns the stamped rows after notifying listeners.
+        """
+        return self.append_simultaneous(
+            {self._resolve(chronicle): records},
+            sequence_number=sequence_number,
+            instant=instant,
+        )[self._resolve(chronicle).name]
+
+    def append_simultaneous(
+        self,
+        batches: Mapping["Chronicle | str", Union[RowValues, Sequence[RowValues]]],
+        sequence_number: Optional[SequenceNumber] = None,
+        instant: Optional[float] = None,
+    ) -> Dict[str, Tuple[Row, ...]]:
+        """Append to several chronicles of the group at one sequence number.
+
+        This is the "simultaneous insertion" of Section 4: every record in
+        every batch shares the same fresh sequence number.
+        """
+        resolved: Dict[Chronicle, List[RowValues]] = {}
+        for target, records in batches.items():
+            chronicle = self._resolve(target)
+            resolved[chronicle] = self._normalize_records(chronicle, records)
+        if sequence_number is None:
+            stamp = self._issuer.issue()
+        else:
+            stamp = self._issuer.accept(sequence_number)
+        if instant is not None:
+            self.chronons.record(stamp, instant)
+        stamped: Dict[str, Tuple[Row, ...]] = {}
+        for chronicle, records in resolved.items():
+            rows = tuple(chronicle._admit(record, stamp) for record in records)
+            # Records in one batch share the sequence number, so identical
+            # records are the same tuple: set semantics dedups them here,
+            # keeping storage consistent with the (deduplicating) deltas.
+            seen = set()
+            unique = []
+            for row in rows:
+                if row.values not in seen:
+                    seen.add(row.values)
+                    unique.append(row)
+            rows = tuple(unique)
+            chronicle._store(rows)
+            stamped[chronicle.name] = rows
+        event = {name: rows for name, rows in stamped.items() if rows}
+        if event:
+            for listener in self._listeners:
+                listener(self, event)
+        return stamped
+
+    def _resolve(self, target: "Chronicle | str") -> Chronicle:
+        if isinstance(target, Chronicle):
+            if target.group is not self:
+                raise ChronicleGroupError(
+                    f"chronicle {target.name!r} does not belong to group {self.name!r}"
+                )
+            return target
+        return self[target]
+
+    @staticmethod
+    def _normalize_records(
+        chronicle: Chronicle,
+        records: Union[RowValues, Sequence[RowValues]],
+    ) -> List[RowValues]:
+        if isinstance(records, Mapping):
+            return [records]
+        records = list(records)
+        if records and not isinstance(records[0], (Mapping, list, tuple, Row)):
+            # A single positional record like ("alice", 3) rather than a list
+            # of records.
+            return [records]
+        return records  # type: ignore[return-value]
+
+    def same_group(self, *chronicles: Chronicle) -> bool:
+        """Whether every argument chronicle belongs to this group."""
+        return all(c.group is self for c in chronicles)
+
+    def __repr__(self) -> str:
+        return (
+            f"ChronicleGroup({self.name!r}, chronicles={sorted(self.chronicles)}, "
+            f"watermark={self.watermark})"
+        )

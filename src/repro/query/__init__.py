@@ -1,0 +1,18 @@
+"""Declarative view-definition language (lexer, parser, compiler)."""
+
+from .ast import SelectStatement, ViewDefinition
+from .compiler import Catalog, Compiler, compile_view
+from .lexer import Token, tokenize
+from .parser import parse_select, parse_view
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "parse_view",
+    "parse_select",
+    "ViewDefinition",
+    "SelectStatement",
+    "Catalog",
+    "Compiler",
+    "compile_view",
+]

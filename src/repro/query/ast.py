@@ -1,0 +1,102 @@
+"""Parse-tree node types for the view-definition language.
+
+These are *syntactic* objects only: name resolution, typing and language
+classification happen in :mod:`repro.query.compiler`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, NamedTuple, Optional, Tuple
+
+
+class ColumnRef(NamedTuple):
+    """A possibly-qualified column reference ``[source.]name``."""
+
+    source: Optional[str]
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.source}.{self.name}" if self.source else self.name
+
+
+class Literal(NamedTuple):
+    """A constant: number, string, or boolean."""
+
+    value: Any
+
+
+class ComparisonExpr(NamedTuple):
+    """``operand op operand`` with at least one column reference."""
+
+    left: "ColumnRef | Literal"
+    op: str
+    right: "ColumnRef | Literal"
+
+
+class OrExpr(NamedTuple):
+    terms: Tuple[Any, ...]  # ComparisonExpr | AndExpr | OrExpr | NotExpr
+
+
+class AndExpr(NamedTuple):
+    terms: Tuple[Any, ...]
+
+
+class NotExpr(NamedTuple):
+    term: Any
+
+
+class SelectItem(NamedTuple):
+    """One SELECT-list entry.
+
+    ``aggregate`` is None for plain columns; ``column`` is None for
+    ``COUNT(*)``.  ``alias`` is the AS name, when given.
+    """
+
+    aggregate: Optional[str]
+    column: Optional[ColumnRef]
+    alias: Optional[str]
+
+
+class JoinClause(NamedTuple):
+    """``JOIN source ON pairs`` or ``CROSS JOIN source``."""
+
+    source: str
+    on: Tuple[Tuple[ColumnRef, ColumnRef], ...]  # empty for CROSS JOIN
+    cross: bool
+
+
+class SelectStatement(NamedTuple):
+    """A parsed SELECT."""
+
+    items: Tuple[SelectItem, ...]
+    source: str
+    joins: Tuple[JoinClause, ...]
+    where: Optional[Any]  # predicate expression tree
+    group_by: Tuple[ColumnRef, ...]
+    having: Optional[Any] = None  # predicate over the summary's outputs
+
+
+class PeriodicSpec(NamedTuple):
+    """The OVER clause of a periodic view (Section 5.1).
+
+    ``EVERY w``            → tiling periods of width w (stride = w).
+    ``WINDOW w SLIDE s``   → overlapping windows of width w every s.
+    ``STARTING o``         → chronon of interval 0 (default 0).
+    ``EXPIRE AFTER e``     → drop interval views e chronons past their end.
+    ``BY column``          → chronon source attribute; defaults to the
+                             group's sequence-number → chronon mapping.
+    """
+
+    width: float
+    stride: float
+    origin: float
+    expire_after: Optional[float]
+    by: Optional[ColumnRef]
+
+
+class ViewDefinition(NamedTuple):
+    """A parsed ``DEFINE [PERIODIC] VIEW name [OVER ...] AS SELECT ...``."""
+
+    name: str
+    select: SelectStatement
+    periodic: Optional[PeriodicSpec] = None

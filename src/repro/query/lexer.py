@@ -1,0 +1,163 @@
+"""Tokenizer for the view-definition language.
+
+The paper leaves the concrete syntax open ("an SQL like language may be
+used"); we provide a small SQL dialect::
+
+    DEFINE VIEW mileage AS
+    SELECT acct, SUM(miles) AS balance, COUNT(*) AS flights
+    FROM flights JOIN customers ON flights.acct = customers.acct
+    WHERE miles > 0 OR bonus = 1
+    GROUP BY acct
+
+Tokens carry line/column positions so parse errors point at the source.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple, Optional
+
+from ..errors import LexError
+
+KEYWORDS = {
+    "DEFINE",
+    "VIEW",
+    "AS",
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "JOIN",
+    "ON",
+    "AND",
+    "OR",
+    "NOT",
+    "CROSS",
+    "HAVING",
+    # periodic views (Section 5.1)
+    "PERIODIC",
+    "OVER",
+    "EVERY",
+    "WINDOW",
+    "SLIDE",
+    "STARTING",
+    "EXPIRE",
+    "AFTER",
+}
+
+#: Multi-character operators first so maximal munch works.
+_SYMBOLS = ("<=", ">=", "!=", "<>", "=", "<", ">", "(", ")", ",", ".", "*")
+
+
+class Token(NamedTuple):
+    """One lexical token."""
+
+    kind: str  # KEYWORD | IDENT | NUMBER | STRING | SYMBOL | EOF
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "KEYWORD" and self.text == word
+
+    def is_symbol(self, symbol: str) -> bool:
+        return self.kind == "SYMBOL" and self.text == symbol
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize *source*; returns tokens ending with an EOF token."""
+    tokens: List[Token] = []
+    line, column = 1, 1
+    position = 0
+    length = len(source)
+    while position < length:
+        char = source[position]
+        if char == "\n":
+            position += 1
+            line += 1
+            column = 1
+            continue
+        if char in " \t\r":
+            position += 1
+            column += 1
+            continue
+        if source.startswith("--", position):
+            end = source.find("\n", position)
+            position = length if end == -1 else end
+            continue
+        if char.isalpha() or char == "_":
+            start = position
+            while position < length and (source[position].isalnum() or source[position] == "_"):
+                position += 1
+            text = source[start:position]
+            upper = text.upper()
+            kind = "KEYWORD" if upper in KEYWORDS else "IDENT"
+            tokens.append(Token(kind, upper if kind == "KEYWORD" else text, line, column))
+            column += position - start
+            continue
+        if char.isdigit() or (
+            char == "-" and position + 1 < length and source[position + 1].isdigit()
+            and _number_context(tokens)
+        ):
+            start = position
+            position += 1
+            seen_dot = False
+            while position < length and (
+                source[position].isdigit() or (source[position] == "." and not seen_dot)
+            ):
+                if source[position] == ".":
+                    # A trailing dot like "3.x" must not swallow the dot
+                    # used for qualified names; require a digit after it.
+                    if position + 1 >= length or not source[position + 1].isdigit():
+                        break
+                    seen_dot = True
+                position += 1
+            text = source[start:position]
+            tokens.append(Token("NUMBER", text, line, column))
+            column += position - start
+            continue
+        if char == "'":
+            start = position
+            position += 1
+            chunks: List[str] = []
+            while True:
+                if position >= length:
+                    raise LexError("unterminated string literal", line, column)
+                if source[position] == "'":
+                    if position + 1 < length and source[position + 1] == "'":
+                        chunks.append("'")
+                        position += 2
+                        continue
+                    position += 1
+                    break
+                if source[position] == "\n":
+                    raise LexError("newline inside string literal", line, column)
+                chunks.append(source[position])
+                position += 1
+            tokens.append(Token("STRING", "".join(chunks), line, column))
+            column += position - start
+            continue
+        for symbol in _SYMBOLS:
+            if source.startswith(symbol, position):
+                text = "!=" if symbol == "<>" else symbol
+                tokens.append(Token("SYMBOL", text, line, column))
+                position += len(symbol)
+                column += len(symbol)
+                break
+        else:
+            raise LexError(f"unexpected character {char!r}", line, column)
+    tokens.append(Token("EOF", "", line, column))
+    return tokens
+
+
+def _number_context(tokens: List[Token]) -> bool:
+    """Whether a ``-`` here starts a negative literal (not a minus op).
+
+    The grammar has no arithmetic, so ``-`` only ever introduces a
+    negative constant after a comparison operator, a comma, or an
+    opening parenthesis.
+    """
+    if not tokens:
+        return True
+    last = tokens[-1]
+    return last.kind == "SYMBOL" and last.text in ("=", "!=", "<", "<=", ">", ">=", ",", "(")

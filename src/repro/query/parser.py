@@ -1,0 +1,285 @@
+"""Recursive-descent parser for the view-definition language.
+
+Grammar (EBNF)::
+
+    view_def    := DEFINE VIEW ident AS select EOF
+    select      := SELECT item ("," item)*
+                   FROM ident join*
+                   [WHERE or_expr]
+                   [GROUP BY column ("," column)*]
+    item        := ident "(" ("*" | column) ")" [AS ident]
+                 | column [AS ident]
+    join        := JOIN ident ON equality (AND equality)*
+                 | CROSS JOIN ident
+    equality    := column "=" column
+    or_expr     := and_expr (OR and_expr)*
+    and_expr    := not_expr (AND not_expr)*
+    not_expr    := NOT not_expr | primary
+    primary     := "(" or_expr ")" | operand cmp operand
+    operand     := column | NUMBER | STRING
+    column      := ident ["." ident]
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple, Union
+
+from ..errors import ParseError
+from .ast import (
+    AndExpr,
+    ColumnRef,
+    ComparisonExpr,
+    JoinClause,
+    Literal,
+    NotExpr,
+    OrExpr,
+    PeriodicSpec,
+    SelectItem,
+    SelectStatement,
+    ViewDefinition,
+)
+from .lexer import Token, tokenize
+
+_COMPARISONS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._position = 0
+
+    # -- token plumbing -----------------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind != "EOF":
+            self._position += 1
+        return token
+
+    def _error(self, message: str) -> ParseError:
+        token = self._current
+        found = token.text or "end of input"
+        return ParseError(f"{message}, found {found!r}", token.line, token.column)
+
+    def _expect_keyword(self, word: str) -> Token:
+        if not self._current.is_keyword(word):
+            raise self._error(f"expected {word}")
+        return self._advance()
+
+    def _expect_symbol(self, symbol: str) -> Token:
+        if not self._current.is_symbol(symbol):
+            raise self._error(f"expected {symbol!r}")
+        return self._advance()
+
+    def _expect_ident(self, what: str) -> str:
+        if self._current.kind != "IDENT":
+            raise self._error(f"expected {what}")
+        return self._advance().text
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._current.is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _accept_symbol(self, symbol: str) -> bool:
+        if self._current.is_symbol(symbol):
+            self._advance()
+            return True
+        return False
+
+    # -- productions ------------------------------------------------------------------
+
+    def view_definition(self) -> ViewDefinition:
+        self._expect_keyword("DEFINE")
+        periodic_spec = None
+        is_periodic = self._accept_keyword("PERIODIC")
+        self._expect_keyword("VIEW")
+        name = self._expect_ident("view name")
+        if is_periodic:
+            periodic_spec = self._periodic_spec()
+        self._expect_keyword("AS")
+        select = self.select_statement()
+        if self._current.kind != "EOF":
+            raise self._error("unexpected trailing input")
+        return ViewDefinition(name, select, periodic_spec)
+
+    def _periodic_spec(self) -> PeriodicSpec:
+        """``OVER (EVERY w | WINDOW w [SLIDE s]) [STARTING o]
+        [EXPIRE AFTER e] [BY column]``"""
+        self._expect_keyword("OVER")
+        if self._accept_keyword("EVERY"):
+            width = self._number("period width")
+            stride = width
+        elif self._accept_keyword("WINDOW"):
+            width = self._number("window width")
+            stride = self._number("slide") if self._accept_keyword("SLIDE") else 1.0
+        else:
+            raise self._error("expected EVERY or WINDOW after OVER")
+        origin = 0.0
+        expire_after = None
+        by = None
+        while True:
+            if self._accept_keyword("STARTING"):
+                origin = self._number("origin")
+            elif self._accept_keyword("EXPIRE"):
+                self._expect_keyword("AFTER")
+                expire_after = self._number("expiration delay")
+            elif self._accept_keyword("BY"):
+                by = self._column()
+            else:
+                break
+        return PeriodicSpec(width, stride, origin, expire_after, by)
+
+    def _number(self, what: str) -> float:
+        token = self._current
+        if token.kind != "NUMBER":
+            raise self._error(f"expected a numeric {what}")
+        self._advance()
+        return float(token.text)
+
+    def select_statement(self) -> SelectStatement:
+        self._expect_keyword("SELECT")
+        items = [self._select_item()]
+        while self._accept_symbol(","):
+            items.append(self._select_item())
+        self._expect_keyword("FROM")
+        source = self._expect_ident("chronicle or relation name")
+        joins: List[JoinClause] = []
+        while True:
+            if self._accept_keyword("CROSS"):
+                self._expect_keyword("JOIN")
+                joins.append(JoinClause(self._expect_ident("relation name"), (), True))
+            elif self._accept_keyword("JOIN"):
+                target = self._expect_ident("relation name")
+                self._expect_keyword("ON")
+                pairs = [self._join_equality()]
+                while self._accept_keyword("AND"):
+                    pairs.append(self._join_equality())
+                joins.append(JoinClause(target, tuple(pairs), False))
+            else:
+                break
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._or_expr()
+        group_by: Tuple[ColumnRef, ...] = ()
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            columns = [self._column()]
+            while self._accept_symbol(","):
+                columns.append(self._column())
+            group_by = tuple(columns)
+        having = None
+        if self._accept_keyword("HAVING"):
+            having = self._or_expr()
+        return SelectStatement(
+            tuple(items), source, tuple(joins), where, group_by, having
+        )
+
+    def _select_item(self) -> SelectItem:
+        if self._current.kind == "IDENT" and self._peek_is_symbol("("):
+            function = self._advance().text
+            self._expect_symbol("(")
+            column: Optional[ColumnRef] = None
+            if not self._accept_symbol("*"):
+                column = self._column()
+            self._expect_symbol(")")
+            alias = self._alias()
+            return SelectItem(function.upper(), column, alias)
+        column = self._column()
+        alias = self._alias()
+        return SelectItem(None, column, alias)
+
+    def _peek_is_symbol(self, symbol: str) -> bool:
+        nxt = self._tokens[self._position + 1]
+        return nxt.is_symbol(symbol)
+
+    def _alias(self) -> Optional[str]:
+        if self._accept_keyword("AS"):
+            return self._expect_ident("alias")
+        return None
+
+    def _join_equality(self) -> Tuple[ColumnRef, ColumnRef]:
+        left = self._column()
+        self._expect_symbol("=")
+        right = self._column()
+        return (left, right)
+
+    def _column(self) -> ColumnRef:
+        first = self._expect_ident("column name")
+        if self._accept_symbol("."):
+            return ColumnRef(first, self._expect_ident("column name"))
+        return ColumnRef(None, first)
+
+    # -- predicates ---------------------------------------------------------------------
+
+    def _or_expr(self) -> Any:
+        terms = [self._and_expr()]
+        while self._accept_keyword("OR"):
+            terms.append(self._and_expr())
+        if len(terms) == 1:
+            return terms[0]
+        return OrExpr(tuple(terms))
+
+    def _and_expr(self) -> Any:
+        terms = [self._not_expr()]
+        while self._accept_keyword("AND"):
+            terms.append(self._not_expr())
+        if len(terms) == 1:
+            return terms[0]
+        return AndExpr(tuple(terms))
+
+    def _not_expr(self) -> Any:
+        if self._accept_keyword("NOT"):
+            return NotExpr(self._not_expr())
+        return self._primary()
+
+    def _primary(self) -> Any:
+        if self._accept_symbol("("):
+            inner = self._or_expr()
+            self._expect_symbol(")")
+            return inner
+        left = self._operand()
+        token = self._current
+        if token.kind != "SYMBOL" or token.text not in _COMPARISONS:
+            raise self._error("expected a comparison operator")
+        op = self._advance().text
+        right = self._operand()
+        if isinstance(left, Literal) and isinstance(right, Literal):
+            raise ParseError(
+                "comparison between two constants is not a predicate",
+                token.line,
+                token.column,
+            )
+        return ComparisonExpr(left, op, right)
+
+    def _operand(self) -> Union[ColumnRef, Literal]:
+        token = self._current
+        if token.kind == "NUMBER":
+            self._advance()
+            text = token.text
+            return Literal(float(text) if "." in text else int(text))
+        if token.kind == "STRING":
+            self._advance()
+            return Literal(token.text)
+        if token.kind == "IDENT":
+            return self._column()
+        raise self._error("expected a column or constant")
+
+
+def parse_view(source: str) -> ViewDefinition:
+    """Parse a ``DEFINE VIEW`` statement."""
+    return _Parser(tokenize(source)).view_definition()
+
+
+def parse_select(source: str) -> SelectStatement:
+    """Parse a bare SELECT statement."""
+    parser = _Parser(tokenize(source))
+    statement = parser.select_statement()
+    if parser._current.kind != "EOF":
+        raise parser._error("unexpected trailing input")
+    return statement

@@ -1,0 +1,45 @@
+"""Relational substrate: schemas, rows, predicates, relations, algebra."""
+
+from .predicate import (
+    TRUE,
+    And,
+    Comparison,
+    Not,
+    Or,
+    Predicate,
+    attr_cmp,
+    attr_eq,
+    attrs_cmp,
+    conjunction,
+    disjunction,
+)
+from .relation import Relation
+from .schema import Attribute, Schema
+from .tuples import Row
+from .types import BOOL, FLOAT, INT, SEQ, STR, Domain
+from .versioned import VersionedRelation
+
+__all__ = [
+    "Attribute",
+    "Schema",
+    "Row",
+    "Relation",
+    "VersionedRelation",
+    "Predicate",
+    "Comparison",
+    "And",
+    "Or",
+    "Not",
+    "TRUE",
+    "attr_eq",
+    "attr_cmp",
+    "attrs_cmp",
+    "disjunction",
+    "conjunction",
+    "Domain",
+    "INT",
+    "FLOAT",
+    "STR",
+    "BOOL",
+    "SEQ",
+]

@@ -1,0 +1,293 @@
+"""Schemas: ordered attribute lists with keys and constraints.
+
+A :class:`Schema` describes the type of a relation or chronicle.  For
+chronicles, exactly one attribute is declared with the :data:`~..relational
+.types.SEQ` domain and marked as the *sequencing attribute*; the chronicle
+algebra's validity rules (Definition 4.1) are stated in terms of whether an
+expression's output schema retains that attribute.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import (
+    DuplicateAttributeError,
+    SchemaError,
+    UnknownAttributeError,
+)
+from .types import Domain, SEQ, check_value, resolve_domain
+
+
+class Attribute:
+    """A single named, typed attribute.
+
+    Parameters
+    ----------
+    name:
+        Attribute name; unique within a schema.
+    domain:
+        A :class:`~.types.Domain` or its name (``"INT"``).
+    nullable:
+        Whether ``None`` is an admissible value.
+    """
+
+    __slots__ = ("name", "domain", "nullable")
+
+    def __init__(self, name: str, domain: "Domain | str", nullable: bool = False) -> None:
+        if not name or not isinstance(name, str):
+            raise SchemaError(f"invalid attribute name {name!r}")
+        self.name = name
+        self.domain = resolve_domain(domain)
+        self.nullable = nullable
+
+    def check(self, value: Any) -> Any:
+        """Validate/coerce *value* for this attribute."""
+        return check_value(self.domain, value, self.nullable)
+
+    def renamed(self, name: str) -> "Attribute":
+        """Return a copy of this attribute under a new name."""
+        return Attribute(name, self.domain, self.nullable)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Attribute):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.domain is other.domain
+            and self.nullable == other.nullable
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.domain.name, self.nullable))
+
+    def __repr__(self) -> str:
+        null = ", nullable" if self.nullable else ""
+        return f"Attribute({self.name}: {self.domain.name}{null})"
+
+
+class Schema:
+    """An ordered collection of attributes plus optional key metadata.
+
+    Parameters
+    ----------
+    attributes:
+        The attributes in positional order.
+    key:
+        Names of the attributes forming the primary key (optional).
+    sequence_attribute:
+        Name of the sequencing attribute, making this a chronicle schema.
+        The attribute must exist and must have the SEQ domain.
+    """
+
+    __slots__ = ("attributes", "_index", "key", "sequence_attribute")
+
+    def __init__(
+        self,
+        attributes: Sequence[Attribute],
+        key: Optional[Sequence[str]] = None,
+        sequence_attribute: Optional[str] = None,
+    ) -> None:
+        attrs = list(attributes)
+        index: Dict[str, int] = {}
+        for pos, attr in enumerate(attrs):
+            if attr.name in index:
+                raise DuplicateAttributeError(f"duplicate attribute {attr.name!r}")
+            index[attr.name] = pos
+        self.attributes: Tuple[Attribute, ...] = tuple(attrs)
+        self._index = index
+        self.key: Optional[Tuple[str, ...]] = None
+        if key is not None:
+            key_names = tuple(key)
+            for name in key_names:
+                if name not in index:
+                    raise UnknownAttributeError(f"key attribute {name!r} not in schema")
+            if len(set(key_names)) != len(key_names):
+                raise SchemaError("key attribute list contains duplicates")
+            if not key_names:
+                raise SchemaError("key attribute list may not be empty")
+            self.key = key_names
+        self.sequence_attribute = None
+        if sequence_attribute is not None:
+            if sequence_attribute not in index:
+                raise UnknownAttributeError(
+                    f"sequencing attribute {sequence_attribute!r} not in schema"
+                )
+            attr = attrs[index[sequence_attribute]]
+            if attr.domain is not SEQ:
+                raise SchemaError(
+                    f"sequencing attribute {sequence_attribute!r} must have the "
+                    f"SEQ domain, found {attr.domain.name}"
+                )
+            self.sequence_attribute = sequence_attribute
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def build(cls, *specs: "Tuple[str, Domain | str] | Attribute", **options: Any) -> "Schema":
+        """Build a schema from ``(name, domain)`` pairs or attributes.
+
+        >>> Schema.build(("id", "INT"), ("name", "STR"), key=["id"])
+        """
+        attrs = [
+            spec if isinstance(spec, Attribute) else Attribute(spec[0], spec[1])
+            for spec in specs
+        ]
+        return cls(attrs, **options)
+
+    # -- basic queries ---------------------------------------------------------
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Attribute names in positional order."""
+        return tuple(attr.name for attr in self.attributes)
+
+    @property
+    def is_chronicle_schema(self) -> bool:
+        """True when the schema declares a sequencing attribute."""
+        return self.sequence_attribute is not None
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def position(self, name: str) -> int:
+        """Return the positional index of attribute *name*."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise UnknownAttributeError(
+                f"attribute {name!r} not in schema {self.names}"
+            ) from None
+
+    def attribute(self, name: str) -> Attribute:
+        """Return the attribute object named *name*."""
+        return self.attributes[self.position(name)]
+
+    def positions(self, names: Iterable[str]) -> Tuple[int, ...]:
+        """Positional indexes for several attribute names."""
+        return tuple(self.position(name) for name in names)
+
+    # -- derivation ------------------------------------------------------------
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Schema of a projection onto *names* (order given by *names*).
+
+        Keeps the sequencing marker when the sequencing attribute survives;
+        drops key metadata (a projection need not preserve keys).
+        """
+        attrs = [self.attribute(name) for name in names]
+        seq = self.sequence_attribute if self.sequence_attribute in names else None
+        return Schema(attrs, sequence_attribute=seq)
+
+    def rename(self, mapping: Dict[str, str]) -> "Schema":
+        """Schema with attributes renamed per *mapping* (missing = keep)."""
+        attrs = [attr.renamed(mapping.get(attr.name, attr.name)) for attr in self.attributes]
+        seq = self.sequence_attribute
+        if seq is not None:
+            seq = mapping.get(seq, seq)
+        key = self.key
+        if key is not None:
+            key = tuple(mapping.get(name, name) for name in key)
+        return Schema(attrs, key=key, sequence_attribute=seq)
+
+    def concat_names(self, other: "Schema") -> List[str]:
+        """Output names *other*'s attributes get in ``self.concat(other)``.
+
+        Name clashes with this schema are disambiguated with an ``r_``
+        prefix (then ``r2_``, ...).  Exposed so callers (e.g. the query
+        compiler) can track attribute provenance across joins.
+        """
+        taken = set(self.names)
+        names: List[str] = []
+        for attr in other.attributes:
+            name = attr.name
+            if name in taken:
+                candidate = f"r_{name}"
+                suffix = 2
+                while candidate in taken:
+                    candidate = f"r{suffix}_{name}"
+                    suffix += 1
+                name = candidate
+            names.append(name)
+            taken.add(name)
+        return names
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Schema of a product/join: this schema's attributes then *other*'s.
+
+        Right-hand name clashes are renamed per :meth:`concat_names`.
+        The sequencing attribute, if any, is taken from the left operand.
+        """
+        attrs: List[Attribute] = list(self.attributes)
+        for attr, name in zip(other.attributes, self.concat_names(other)):
+            attrs.append(attr.renamed(name))
+        return Schema(attrs, sequence_attribute=self.sequence_attribute)
+
+    def drop(self, names: Sequence[str]) -> "Schema":
+        """Schema with the given attributes removed."""
+        remove = set(names)
+        keep = [attr.name for attr in self.attributes if attr.name not in remove]
+        return self.project(keep)
+
+    def compatible_with(self, other: "Schema") -> bool:
+        """Union/difference compatibility: same arity, domains, and names."""
+        if len(self) != len(other):
+            return False
+        return all(
+            a.name == b.name and a.domain is b.domain
+            for a, b in zip(self.attributes, other.attributes)
+        )
+
+    def require_compatible(self, other: "Schema", operation: str) -> None:
+        """Raise a :class:`SchemaError` unless schemas are compatible."""
+        if not self.compatible_with(other):
+            raise SchemaError(
+                f"{operation} requires identically-typed operands; "
+                f"got {self.names} vs {other.names}"
+            )
+
+    # -- value checking ----------------------------------------------------------
+
+    def check_values(self, values: Sequence[Any]) -> Tuple[Any, ...]:
+        """Validate a positional value list against the schema."""
+        if len(values) != len(self.attributes):
+            raise SchemaError(
+                f"expected {len(self.attributes)} values, got {len(values)}"
+            )
+        return tuple(
+            attr.check(value) for attr, value in zip(self.attributes, values)
+        )
+
+    # -- dunder -----------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return (
+            self.attributes == other.attributes
+            and self.key == other.key
+            and self.sequence_attribute == other.sequence_attribute
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.attributes, self.key, self.sequence_attribute))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{a.name}:{a.domain.name}" for a in self.attributes)
+        extras = []
+        if self.key:
+            extras.append(f"key={list(self.key)}")
+        if self.sequence_attribute:
+            extras.append(f"seq={self.sequence_attribute}")
+        tail = (", " + ", ".join(extras)) if extras else ""
+        return f"Schema({parts}{tail})"

@@ -1,0 +1,122 @@
+"""Typed value domains for relation and chronicle attributes.
+
+The chronicle model is built on top of the relational model (Section 1 of
+the paper), so we need ordinary typed attributes plus one distinguished
+domain: the *sequencing* domain, an "infinite ordered domain" from which
+chronicle sequence numbers are drawn (Section 2.1).
+
+Domains are small singletons; attribute declarations reference them by
+object or by name (``"INT"``).  Each domain knows how to validate and
+coerce Python values.  ``NULL`` is represented by ``None`` and is accepted
+only by attributes declared nullable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import TypeMismatchError
+
+
+class Domain:
+    """A value domain (attribute type).
+
+    Parameters
+    ----------
+    name:
+        Canonical upper-case name used in schemas and the query language.
+    pytypes:
+        Python types whose instances belong to the domain.
+    ordered:
+        Whether comparison predicates (``<`` etc.) are meaningful.
+    """
+
+    __slots__ = ("name", "pytypes", "ordered")
+
+    def __init__(self, name: str, pytypes: Tuple[type, ...], ordered: bool = True) -> None:
+        self.name = name
+        self.pytypes = pytypes
+        self.ordered = ordered
+
+    def contains(self, value: Any) -> bool:
+        """Return ``True`` when *value* is a member of this domain."""
+        if isinstance(value, bool):
+            # bool is a subclass of int; keep BOOL and INT disjoint.
+            return bool in self.pytypes
+        return isinstance(value, self.pytypes)
+
+    def coerce(self, value: Any) -> Any:
+        """Coerce *value* into the domain, raising on impossible coercions.
+
+        Coercion is deliberately conservative: ints widen to floats for a
+        FLOAT attribute, everything else must already belong.
+        """
+        if self.contains(value):
+            return value
+        if self is FLOAT and isinstance(value, int) and not isinstance(value, bool):
+            return float(value)
+        if self is SEQ and isinstance(value, int) and not isinstance(value, bool):
+            return value
+        raise TypeMismatchError(
+            f"value {value!r} of type {type(value).__name__} does not belong "
+            f"to domain {self.name}"
+        )
+
+    def __repr__(self) -> str:
+        return f"Domain({self.name})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+INT = Domain("INT", (int,))
+FLOAT = Domain("FLOAT", (float, int))
+STR = Domain("STR", (str,))
+BOOL = Domain("BOOL", (bool,), ordered=False)
+#: The sequencing domain: an infinite ordered domain of sequence numbers.
+SEQ = Domain("SEQ", (int,))
+
+_BY_NAME: Dict[str, Domain] = {d.name: d for d in (INT, FLOAT, STR, BOOL, SEQ)}
+
+
+def domain_by_name(name: str) -> Domain:
+    """Look up a domain by its canonical (case-insensitive) name."""
+    try:
+        return _BY_NAME[name.upper()]
+    except KeyError:
+        raise TypeMismatchError(f"unknown domain name {name!r}") from None
+
+
+def resolve_domain(spec: "Domain | str") -> Domain:
+    """Accept either a :class:`Domain` or its name and return the domain."""
+    if isinstance(spec, Domain):
+        return spec
+    if isinstance(spec, str):
+        return domain_by_name(spec)
+    raise TypeMismatchError(f"cannot interpret {spec!r} as a domain")
+
+
+def check_value(domain: Domain, value: Any, nullable: bool = False) -> Any:
+    """Validate and coerce *value* for an attribute of *domain*.
+
+    ``None`` passes through only when *nullable* is true.
+    """
+    if value is None:
+        if nullable:
+            return None
+        raise TypeMismatchError(f"NULL not allowed for non-nullable {domain.name} attribute")
+    return domain.coerce(value)
+
+
+def common_domain(left: Domain, right: Domain) -> Optional[Domain]:
+    """Return the domain two comparable attributes share, if any.
+
+    INT and FLOAT are mutually comparable (numeric); SEQ compares with INT
+    because sequence numbers are integers drawn from an ordered domain.
+    """
+    if left is right:
+        return left
+    numeric = {INT, FLOAT, SEQ}
+    if left in numeric and right in numeric:
+        return FLOAT if FLOAT in (left, right) else INT
+    return None

@@ -1,0 +1,6 @@
+"""Index structures: chained hash index and B+-tree."""
+
+from .btree import BPlusTree
+from .hash_index import HashIndex
+
+__all__ = ["BPlusTree", "HashIndex"]

@@ -1,0 +1,190 @@
+"""Checkpointing: durable snapshots of a chronicle database's state.
+
+The chronicle model's whole point is that the stream is *not* stored —
+which makes the persistent views' state the only copy of the summarized
+history.  A production deployment therefore needs durability for:
+
+* the group watermarks (so the append rule survives a restart);
+* every persistent view's materialized rows **and** its aggregate
+  accumulators (finalized values alone cannot resume AVG/VAR state);
+* relations (they are ordinary stored data);
+* periodic view sets: the clock, expired-interval bookkeeping, and every
+  active interval view's rows and accumulators.
+
+The format is a single JSON document (version-tagged).  JSON keeps the
+checkpoint inspectable and avoids pickle's code-execution surface; the
+value encoder handles the tuples that aggregate accumulators use.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, IO, List, Union
+
+from ..errors import ChronicleError
+from ..relational.tuples import Row
+
+FORMAT_VERSION = 1
+
+
+class CheckpointError(ChronicleError):
+    """A checkpoint could not be written or restored."""
+
+
+def _encode_value(value: Any) -> Any:
+    """JSON-encode a cell/accumulator value, tagging tuples."""
+    if isinstance(value, tuple):
+        return {"__tuple__": [_encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return [_encode_value(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise CheckpointError(
+        f"cannot checkpoint value of type {type(value).__name__}: {value!r}"
+    )
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if set(value) == {"__tuple__"}:
+            return tuple(_decode_value(v) for v in value["__tuple__"])
+        raise CheckpointError(f"unexpected object in checkpoint: {value!r}")
+    if isinstance(value, list):
+        return [_decode_value(v) for v in value]
+    return value
+
+
+def _view_state(view: Any) -> Dict[str, Any]:
+    """Extract one persistent view's durable state."""
+    return {
+        "rows": [_encode_value(row.values) for row in view.relation.rows()],
+        "state": [
+            [_encode_value(key), _encode_value(value)]
+            for key, value in view._state.items()
+        ],
+        "maintenance_count": view.maintenance_count,
+    }
+
+
+def _restore_view(view: Any, payload: Dict[str, Any]) -> None:
+    view.relation.clear()
+    view._state.clear()
+    for values in payload["rows"]:
+        view.relation.insert(Row(view.relation.schema, _decode_value(values)))
+    for key, value in payload["state"]:
+        view._state.replace(_decode_value(key), _decode_value(value))
+    view._maintenance_count = payload.get("maintenance_count", 0)
+
+
+def _periodic_state(view_set: Any) -> Dict[str, Any]:
+    """Durable state of a periodic view set: clock, expiry, interval views."""
+    return {
+        "clock": view_set._clock,
+        "expired": sorted(view_set._expired),
+        "instantiated": view_set._instantiated,
+        "views": {
+            str(index): _view_state(view)
+            for index, view in view_set._active.items()
+        },
+    }
+
+
+def _restore_periodic(view_set: Any, payload: Dict[str, Any]) -> None:
+    view_set._clock = payload.get("clock")
+    view_set._expired = set(payload.get("expired", []))
+    view_set._instantiated = payload.get("instantiated", 0)
+    view_set._active.clear()
+    for index_text, view_payload in payload.get("views", {}).items():
+        view = view_set._view(int(index_text))
+        _restore_view(view, view_payload)
+    # _view() bumps the lifetime counter per materialization; restore the
+    # checkpointed figure.
+    view_set._instantiated = payload.get("instantiated", len(view_set._active))
+
+
+def checkpoint_database(db: Any, target: Union[str, IO[str]]) -> Dict[str, Any]:
+    """Write a checkpoint of *db* to a path or text file object.
+
+    Returns the (already-serialized) document for inspection.  Writing to
+    a path is atomic (temp file + rename).
+    """
+    document: Dict[str, Any] = {
+        "format": FORMAT_VERSION,
+        "groups": {
+            name: {"watermark": group.watermark} for name, group in db.groups.items()
+        },
+        "relations": {
+            name: [_encode_value(row.values) for row in relation.rows()]
+            for name, relation in db.relations.items()
+        },
+        "views": {
+            view.name: _view_state(view) for view in db.registry.views()
+        },
+        "periodic": {
+            name: _periodic_state(view_set)
+            for name, view_set in db.registry._periodic.items()
+        },
+    }
+    if isinstance(target, str):
+        directory = os.path.dirname(os.path.abspath(target)) or "."
+        fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".ckpt")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(document, handle)
+            os.replace(temp_path, target)
+        except BaseException:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+            raise
+    else:
+        json.dump(document, target)
+    return document
+
+
+def restore_database(db: Any, source: Union[str, IO[str], Dict[str, Any]]) -> None:
+    """Restore *db* (with schema already re-declared) from a checkpoint.
+
+    The database must have been rebuilt to the same shape — same groups,
+    relations, and view definitions — before restoring; the checkpoint
+    carries state, not schema.  Group watermarks are advanced so the next
+    append continues the sequence-number domain where it left off.
+    """
+    if isinstance(source, str):
+        with open(source) as handle:
+            document = json.load(handle)
+    elif isinstance(source, dict):
+        document = source
+    else:
+        document = json.load(source)
+    if document.get("format") != FORMAT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint format {document.get('format')!r}"
+        )
+    for name, payload in document["groups"].items():
+        if name not in db.groups:
+            raise CheckpointError(f"checkpoint names unknown group {name!r}")
+        issuer = db.groups[name]._issuer
+        if payload["watermark"] > issuer.watermark:
+            issuer.accept(payload["watermark"])
+    for name, rows in document["relations"].items():
+        if name not in db.relations:
+            raise CheckpointError(f"checkpoint names unknown relation {name!r}")
+        relation = db.relations[name]
+        relation.current.clear()
+        for values in rows:
+            relation.current.insert(
+                Row(relation.schema, _decode_value(values))
+            )
+    known_views = {view.name: view for view in db.registry.views()}
+    for name, payload in document["views"].items():
+        if name not in known_views:
+            raise CheckpointError(f"checkpoint names unknown view {name!r}")
+        _restore_view(known_views[name], payload)
+    for name, payload in document.get("periodic", {}).items():
+        if name not in db.registry._periodic:
+            raise CheckpointError(
+                f"checkpoint names unknown periodic view {name!r}"
+            )
+        _restore_periodic(db.registry._periodic[name], payload)

@@ -1,0 +1,205 @@
+"""Calendars: sets of time intervals for periodic views (Section 5.1).
+
+A calendar D is a (possibly infinite) set of intervals over chronons, in
+the spirit of [SS92, CSS94].  A periodic view V⟨D⟩ denotes one view per
+interval; the system only ever materializes the finitely many *current*
+intervals, relying on expiration to reclaim the rest.
+
+Intervals are half-open ``[start, end)`` so consecutive periods tile the
+time line without overlap; overlapping calendars (sliding windows) are
+first-class.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from ..errors import CalendarError
+
+
+class Interval:
+    """A half-open chronon interval ``[start, end)``."""
+
+    __slots__ = ("start", "end")
+
+    def __init__(self, start: float, end: float) -> None:
+        if end <= start:
+            raise CalendarError(f"empty interval [{start}, {end})")
+        self.start = start
+        self.end = end
+
+    def contains(self, chronon: float) -> bool:
+        return self.start <= chronon < self.end
+
+    __contains__ = contains
+
+    def overlaps(self, other: "Interval") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    @property
+    def width(self) -> float:
+        return self.end - self.start
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Interval):
+            return NotImplemented
+        return self.start == other.start and self.end == other.end
+
+    def __hash__(self) -> int:
+        return hash((self.start, self.end))
+
+    def __repr__(self) -> str:
+        return f"[{self.start}, {self.end})"
+
+
+class Calendar:
+    """Base class: an ordered set of intervals over chronons."""
+
+    def interval_at(self, index: int) -> Interval:
+        """The index-th interval (0-based)."""
+        raise NotImplementedError
+
+    def indices_containing(self, chronon: float) -> List[int]:
+        """Indices of every interval containing *chronon*.
+
+        Non-overlapping calendars return zero or one index; sliding
+        windows may return several.
+        """
+        raise NotImplementedError
+
+    def is_finite(self) -> bool:
+        """Whether the calendar has finitely many intervals."""
+        raise NotImplementedError
+
+    def intervals(self, limit: Optional[int] = None) -> Iterator[Interval]:
+        """Iterate intervals in order (bounded by *limit* when infinite)."""
+        count = len(self) if self.is_finite() else limit
+        if count is None:
+            raise CalendarError("iterating an infinite calendar requires a limit")
+        for index in range(count):
+            yield self.interval_at(index)
+
+    def __len__(self) -> int:
+        raise CalendarError(f"{type(self).__name__} is infinite")
+
+
+class PeriodicCalendar(Calendar):
+    """Evenly spaced, possibly overlapping intervals.
+
+    Interval *i* is ``[origin + i*stride, origin + i*stride + width)``.
+    ``stride == width`` gives tiling periods (billing months);
+    ``stride < width`` gives sliding windows (30-day moving totals,
+    advanced daily, have ``width=30, stride=1``).
+
+    Parameters
+    ----------
+    origin:
+        Start of interval 0.
+    width:
+        Interval width (> 0).
+    stride:
+        Distance between consecutive starts (> 0); defaults to *width*.
+    count:
+        Number of intervals; ``None`` for an unbounded calendar.
+    """
+
+    def __init__(
+        self,
+        origin: float,
+        width: float,
+        stride: Optional[float] = None,
+        count: Optional[int] = None,
+    ) -> None:
+        if width <= 0:
+            raise CalendarError("interval width must be positive")
+        stride = width if stride is None else stride
+        if stride <= 0:
+            raise CalendarError("stride must be positive")
+        if count is not None and count <= 0:
+            raise CalendarError("count must be positive or None")
+        self.origin = origin
+        self.width = width
+        self.stride = stride
+        self.count = count
+
+    def interval_at(self, index: int) -> Interval:
+        if index < 0 or (self.count is not None and index >= self.count):
+            raise CalendarError(f"interval index {index} out of range")
+        start = self.origin + index * self.stride
+        return Interval(start, start + self.width)
+
+    def indices_containing(self, chronon: float) -> List[int]:
+        if chronon < self.origin:
+            return []
+        offset = chronon - self.origin
+        # interval i contains t iff  i*stride <= offset < i*stride + width
+        low = int((offset - self.width) // self.stride) + 1
+        high = int(offset // self.stride)
+        indices = []
+        for index in range(max(low, 0), high + 1):
+            if self.count is not None and index >= self.count:
+                break
+            if self.interval_at(index).contains(chronon):
+                indices.append(index)
+        return indices
+
+    def is_finite(self) -> bool:
+        return self.count is not None
+
+    def __len__(self) -> int:
+        if self.count is None:
+            return super().__len__()
+        return self.count
+
+    def __repr__(self) -> str:
+        n = self.count if self.count is not None else "∞"
+        return (
+            f"PeriodicCalendar(origin={self.origin}, width={self.width}, "
+            f"stride={self.stride}, count={n})"
+        )
+
+
+class ExplicitCalendar(Calendar):
+    """A finite, explicitly listed set of intervals (sorted by start)."""
+
+    def __init__(self, intervals: List[Tuple[float, float]]) -> None:
+        if not intervals:
+            raise CalendarError("explicit calendar requires at least one interval")
+        self._intervals = sorted(
+            (Interval(start, end) for start, end in intervals),
+            key=lambda iv: (iv.start, iv.end),
+        )
+
+    def interval_at(self, index: int) -> Interval:
+        try:
+            return self._intervals[index]
+        except IndexError:
+            raise CalendarError(f"interval index {index} out of range") from None
+
+    def indices_containing(self, chronon: float) -> List[int]:
+        return [
+            index
+            for index, interval in enumerate(self._intervals)
+            if interval.contains(chronon)
+        ]
+
+    def is_finite(self) -> bool:
+        return True
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __repr__(self) -> str:
+        return f"ExplicitCalendar({self._intervals!r})"
+
+
+def monthly(origin: float = 0.0, month_length: float = 30.0,
+            count: Optional[int] = None) -> PeriodicCalendar:
+    """Billing-month style calendar: tiling periods of *month_length*."""
+    return PeriodicCalendar(origin, month_length, count=count)
+
+
+def sliding(window: float, step: float, origin: float = 0.0,
+            count: Optional[int] = None) -> PeriodicCalendar:
+    """Moving-window calendar: width *window*, advanced by *step*."""
+    return PeriodicCalendar(origin, window, stride=step, count=count)

@@ -1,0 +1,158 @@
+"""Derived queries over persistent views.
+
+"Once a relation is defined using SCA, it could be further manipulated by
+using relational algebra and the other relations in the system, to define
+a persistent view" (after Definition 4.3).  Persistent views are small —
+that is the whole point — so derived manipulation is evaluated *on read*
+over the materialized rows, staying trivially consistent with
+maintenance (no extra state, nothing further to maintain).
+
+:class:`ViewQuery` is a fluent, lazily evaluated pipeline::
+
+    top_spenders = (ViewQuery(db.view("spend"))
+                    .where(attr_cmp("cents", ">", 100_00))
+                    .join(db.relation("cardholders"), [("card", "card")])
+                    .order_by("cents", descending=True)
+                    .limit(10))
+    for row in top_spenders:
+        ...
+
+Each combinator returns a new query; nothing runs until iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ViewError
+from ..relational.algebra import Table, equi_join as ra_equi_join
+from ..relational.predicate import Predicate
+from ..relational.schema import Schema
+from ..relational.tuples import Row
+
+
+class ViewQuery:
+    """A lazy relational pipeline over a view's (or relation's) rows.
+
+    Parameters
+    ----------
+    source:
+        Anything with a ``schema``-compatible row iterator: a
+        :class:`~repro.sca.view.PersistentView`, a relation, or another
+        :class:`ViewQuery`.
+    """
+
+    def __init__(self, source: Any) -> None:
+        self._source = source
+        self._steps: List[Callable[[Table], Table]] = []
+
+    # -- combinators ---------------------------------------------------------------
+
+    def _extended(self, step: Callable[[Table], Table]) -> "ViewQuery":
+        clone = ViewQuery(self._source)
+        clone._steps = self._steps + [step]
+        return clone
+
+    def where(self, predicate: Predicate) -> "ViewQuery":
+        """Keep rows satisfying *predicate*."""
+
+        def step(table: Table) -> Table:
+            return Table(
+                table.schema,
+                [row for row in table.rows if predicate.evaluate(row)],
+                dedup=False,
+            )
+
+        return self._extended(step)
+
+    def project(self, names: Sequence[str]) -> "ViewQuery":
+        """Project onto *names* (set semantics)."""
+        names = list(names)
+
+        def step(table: Table) -> Table:
+            schema = table.schema.project(names)
+            return Table(schema, [row.project(names, schema) for row in table.rows])
+
+        return self._extended(step)
+
+    def join(
+        self,
+        other: Any,
+        pairs: Sequence[Tuple[str, str]],
+    ) -> "ViewQuery":
+        """Equi-join with a relation / view on ``(left, right)`` pairs."""
+        pairs = [tuple(p) for p in pairs]
+
+        def step(table: Table) -> Table:
+            right = Table(other.schema, list(other.rows()), dedup=False)
+            return ra_equi_join(table, right, pairs)
+
+        return self._extended(step)
+
+    def order_by(self, name: str, descending: bool = False) -> "ViewQuery":
+        """Sort by one attribute."""
+
+        def step(table: Table) -> Table:
+            position = table.schema.position(name)
+            rows = sorted(
+                table.rows, key=lambda row: row.values[position], reverse=descending
+            )
+            return Table(table.schema, rows, dedup=False)
+
+        return self._extended(step)
+
+    def limit(self, count: int) -> "ViewQuery":
+        """Keep the first *count* rows (after any ordering)."""
+        if count < 0:
+            raise ViewError("limit must be non-negative")
+
+        def step(table: Table) -> Table:
+            return Table(table.schema, table.rows[:count], dedup=False)
+
+        return self._extended(step)
+
+    def map_rows(self, fn: Callable[[Row], Row], schema: Schema) -> "ViewQuery":
+        """Arbitrary row transformation into *schema* (escape hatch)."""
+
+        def step(table: Table) -> Table:
+            return Table(schema, [fn(row) for row in table.rows], dedup=False)
+
+        return self._extended(step)
+
+    # -- evaluation --------------------------------------------------------------------
+
+    def to_table(self) -> Table:
+        """Run the pipeline over the source's current rows."""
+        source = self._source
+        if isinstance(source, ViewQuery):
+            table = source.to_table()
+        else:
+            table = Table(source.schema, list(source.rows()), dedup=False)
+        for step in self._steps:
+            table = step(table)
+        return table
+
+    def rows(self) -> Iterator[Row]:
+        return iter(self.to_table().rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return self.rows()
+
+    def __len__(self) -> int:
+        return len(self.to_table())
+
+    def first(self) -> Optional[Row]:
+        """The first result row, or ``None``."""
+        table = self.to_table()
+        return table.rows[0] if table.rows else None
+
+    def values(self, name: str) -> List[Any]:
+        """One attribute's values, in pipeline order."""
+        table = self.to_table()
+        position = table.schema.position(name)
+        return [row.values[position] for row in table.rows]
+
+
+def top_k(view: Any, by: str, k: int, descending: bool = True) -> List[Row]:
+    """Convenience: the top-*k* view rows by attribute *by*."""
+    return list(ViewQuery(view).order_by(by, descending=descending).limit(k))

@@ -1,0 +1,203 @@
+"""Cyclic-buffer optimization for overlapping periodic views (Section 5.1).
+
+The paper's example: a daily view of total shares sold during the
+preceding 30 days.  Instead of maintaining 30 overlapping interval views
+(each append folds into up to 30 views), "keep the total number of shares
+sold for each of the last 30 days separately, and derive the view as the
+sum of these 30 numbers.  Moving from one periodic view to the next one
+involves shifting a cyclic buffer".
+
+:class:`MovingWindowAggregate` generalizes that recipe to any
+incrementally computable aggregate:
+
+* one partial accumulator per *bucket* (day);
+* appends step only the current bucket — O(1);
+* rolling to the next bucket shifts the cyclic buffer — O(1) for
+  invertible aggregates (SUM, COUNT, AVG, VAR) via ``unmerge``, O(width)
+  re-merge for the rest (MIN, MAX), still independent of the number of
+  records;
+* the window value is the merge of the live buckets.
+
+:class:`KeyedMovingWindow` maintains one such window per group key (per
+stock symbol, per account, ...).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Hashable, Iterator, Optional, Tuple
+
+from ..aggregates.base import IncrementalAggregate
+from ..complexity.counters import GLOBAL_COUNTERS
+from ..errors import AggregateError
+
+
+class MovingWindowAggregate:
+    """A sliding window of *width* buckets over one value stream.
+
+    Parameters
+    ----------
+    aggregate:
+        Any mergeable incremental aggregate.  Invertible aggregates get
+        the O(1) roll; merely mergeable ones pay O(width) per roll.
+    width:
+        Number of buckets in the window (e.g. 30 days).
+    """
+
+    __slots__ = ("aggregate", "width", "_buckets", "_running", "_invertible")
+
+    def __init__(self, aggregate: IncrementalAggregate, width: int) -> None:
+        if width <= 0:
+            raise AggregateError("window width must be positive")
+        if not aggregate.mergeable:
+            raise AggregateError(
+                f"{aggregate.name} is not mergeable; the cyclic-buffer "
+                f"optimization needs decomposable partial states"
+            )
+        self.aggregate = aggregate
+        self.width = width
+        self._buckets: Deque[Any] = deque([aggregate.initial() for _ in range(width)])
+        self._invertible = aggregate.invertible
+        self._running: Optional[Any] = aggregate.initial() if self._invertible else None
+
+    def add(self, value: Any) -> None:
+        """Fold one value into the current (most recent) bucket — O(1)."""
+        GLOBAL_COUNTERS.count("aggregate_step")
+        self._buckets[-1] = self.aggregate.step(self._buckets[-1], value)
+        if self._invertible:
+            self._running = self.aggregate.step(self._running, value)
+
+    def roll(self) -> None:
+        """Advance the window by one bucket (shift the cyclic buffer)."""
+        evicted = self._buckets.popleft()
+        self._buckets.append(self.aggregate.initial())
+        if self._invertible:
+            GLOBAL_COUNTERS.count("aggregate_step")
+            self._running = self.aggregate.unmerge(self._running, evicted)
+
+    def roll_to(self, buckets_forward: int) -> None:
+        """Advance by several buckets (gap in the stream)."""
+        if buckets_forward >= self.width:
+            # Every live bucket is evicted; reset cleanly in O(width).
+            self._buckets = deque(self.aggregate.initial() for _ in range(self.width))
+            if self._invertible:
+                self._running = self.aggregate.initial()
+            return
+        for _ in range(buckets_forward):
+            self.roll()
+
+    def state(self) -> Any:
+        """The merged accumulator over the live window."""
+        if self._invertible:
+            return self._running
+        merged = self.aggregate.initial()
+        for bucket in self._buckets:
+            GLOBAL_COUNTERS.count("aggregate_step")
+            merged = self.aggregate.merge(merged, bucket)
+        return merged
+
+    def current(self) -> Any:
+        """The window's aggregate value (finalized)."""
+        return self.aggregate.finalize(self.state())
+
+    def __repr__(self) -> str:
+        return (
+            f"MovingWindowAggregate({self.aggregate.name}, width={self.width}, "
+            f"value={self.current()!r})"
+        )
+
+
+class KeyedMovingWindow:
+    """One :class:`MovingWindowAggregate` per group key, advanced together.
+
+    The bucket boundary is driven by a chronon: ``observe`` places the
+    value in the bucket ``floor((chronon - origin) / bucket_width)`` and
+    rolls every window forward when the boundary advances.
+
+    Parameters
+    ----------
+    aggregate, width:
+        As for :class:`MovingWindowAggregate`.
+    bucket_width:
+        Chronon span of one bucket (e.g. one day).
+    origin:
+        Chronon where bucket 0 starts.
+    """
+
+    def __init__(
+        self,
+        aggregate: IncrementalAggregate,
+        width: int,
+        bucket_width: float = 1.0,
+        origin: float = 0.0,
+    ) -> None:
+        if bucket_width <= 0:
+            raise AggregateError("bucket width must be positive")
+        self.aggregate = aggregate
+        self.width = width
+        self.bucket_width = bucket_width
+        self.origin = origin
+        self._windows: Dict[Hashable, MovingWindowAggregate] = {}
+        self._bucket: Optional[int] = None
+
+    def _bucket_of(self, chronon: float) -> int:
+        return int((chronon - self.origin) // self.bucket_width)
+
+    def observe(self, key: Hashable, value: Any, chronon: float) -> None:
+        """Fold one record into the window for *key* at *chronon*.
+
+        Chronons must be non-decreasing (chronicle order).
+        """
+        bucket = self._bucket_of(chronon)
+        if self._bucket is None:
+            self._bucket = bucket
+        elif bucket < self._bucket:
+            raise AggregateError(
+                f"chronon {chronon} regresses to bucket {bucket} < {self._bucket}; "
+                f"moving windows require chronicle (non-decreasing) order"
+            )
+        elif bucket > self._bucket:
+            forward = bucket - self._bucket
+            for window in self._windows.values():
+                window.roll_to(forward)
+            self._bucket = bucket
+        window = self._windows.get(key)
+        if window is None:
+            window = MovingWindowAggregate(self.aggregate, self.width)
+            self._windows[key] = window
+        window.add(value)
+
+    def advance_to(self, chronon: float) -> None:
+        """Roll every window forward to *chronon* without adding a value."""
+        bucket = self._bucket_of(chronon)
+        if self._bucket is None:
+            self._bucket = bucket
+            return
+        if bucket > self._bucket:
+            forward = bucket - self._bucket
+            for window in self._windows.values():
+                window.roll_to(forward)
+            self._bucket = bucket
+
+    def current(self, key: Hashable) -> Any:
+        """Window aggregate for *key* (aggregate-of-empty when unseen)."""
+        window = self._windows.get(key)
+        if window is None:
+            return self.aggregate.finalize(self.aggregate.initial())
+        return window.current()
+
+    def keys(self) -> Iterator[Hashable]:
+        return iter(self._windows)
+
+    def items(self) -> Iterator[Tuple[Hashable, Any]]:
+        for key, window in self._windows.items():
+            yield key, window.current()
+
+    def __len__(self) -> int:
+        return len(self._windows)
+
+    def __repr__(self) -> str:
+        return (
+            f"KeyedMovingWindow({self.aggregate.name}, width={self.width}, "
+            f"keys={len(self._windows)}, bucket={self._bucket})"
+        )

@@ -1,0 +1,205 @@
+"""Identifying affected persistent views (Section 5.2).
+
+"When multiple views are to be maintained over the same chronicle, each
+update to the chronicle would require checking all the views to determine
+if they need to be updated."  The registry avoids that with two filters:
+
+1. **dependency index** — chronicle name → views depending on it, so an
+   append only visits views over the touched chronicles;
+2. **selection prefilter** — for each (view, chronicle) pair, the
+   conjunction of selection predicates sitting between the view's scan of
+   that chronicle and any non-selection operator.  A delta none of whose
+   rows pass the prefilter cannot change the view, so its (more
+   expensive) delta propagation is skipped.  This is the cheap
+   update-independence test of [LS93] specialized to CA's predicate
+   fragment.
+
+The registry is also the natural owner of periodic view sets: only the
+views *active* for the current interval are maintained (third bullet of
+Section 5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from ..algebra.ast import ChronicleScan, Node, Select
+from ..core.delta import Delta
+from ..core.group import ChronicleGroup
+from ..errors import ViewRegistrationError
+from ..relational.predicate import Predicate, conjunction
+from ..relational.tuples import Row
+from ..sca.maintenance import event_deltas
+from ..sca.view import PersistentView
+from .periodic import PeriodicViewSet
+
+
+def scan_prefilters(expression: Node) -> Dict[str, List[Predicate]]:
+    """Per-chronicle prefilter predicates of an expression.
+
+    For every base-chronicle scan, collect the selection predicates that
+    apply directly above it (before any reshaping operator), then AND
+    them per chronicle.  Rows failing the prefilter can be discarded
+    before delta propagation.  A chronicle scanned twice with different
+    filters gets the OR-semantics of "any scan might accept the row" by
+    keeping the predicate lists separate — callers must pass a row when
+    *any* scan's conjunction accepts it.
+    """
+    filters: Dict[str, List[Predicate]] = {}
+    unfiltered: set = set()
+
+    def descend(node: Node, pending: Tuple[Predicate, ...]) -> None:
+        if isinstance(node, Select):
+            descend(node.child, pending + (node.predicate,))
+            return
+        if isinstance(node, ChronicleScan):
+            name = node.chronicle.name
+            filters.setdefault(name, [])
+            if pending and name not in unfiltered:
+                filters[name].append(conjunction(list(pending)))
+            else:
+                # An unfiltered scan accepts everything: no prefilter for
+                # this chronicle, regardless of other (filtered) scans.
+                unfiltered.add(name)
+                filters[name] = []
+            return
+        for child in node.children:
+            descend(child, ())
+
+    descend(expression, ())
+    return filters
+
+
+class RegisteredView:
+    """Registry bookkeeping for one persistent view."""
+
+    __slots__ = ("view", "prefilters")
+
+    def __init__(self, view: PersistentView) -> None:
+        self.view = view
+        self.prefilters = scan_prefilters(view.expression)
+
+    def might_be_affected(self, chronicle_name: str, rows: Tuple[Row, ...]) -> bool:
+        """Cheap test: could this delta change the view?"""
+        if chronicle_name not in self.prefilters:
+            return False
+        predicates = self.prefilters[chronicle_name]
+        if not predicates:
+            return True  # some scan of the chronicle is unfiltered
+        return any(
+            predicate.evaluate(row) for row in rows for predicate in predicates
+        )
+
+
+class ViewRegistry:
+    """Owns every persistent view of a database and routes appends.
+
+    Parameters
+    ----------
+    prefilter:
+        Enable the selection prefilter (disable to measure its benefit —
+        benchmark E9 does exactly that).
+    """
+
+    def __init__(self, prefilter: bool = True) -> None:
+        self.prefilter = prefilter
+        self._views: Dict[str, RegisteredView] = {}
+        self._periodic: Dict[str, PeriodicViewSet] = {}
+        self._by_chronicle: Dict[str, List[RegisteredView]] = {}
+        self._stats = {"events": 0, "candidate_views": 0, "maintained_views": 0}
+
+    # -- registration -----------------------------------------------------------------
+
+    def register(self, view: PersistentView) -> PersistentView:
+        """Register a persistent view for maintenance."""
+        if view.name in self._views or view.name in self._periodic:
+            raise ViewRegistrationError(f"view name {view.name!r} already registered")
+        registered = RegisteredView(view)
+        self._views[view.name] = registered
+        for chronicle_name in view.chronicle_names():
+            self._by_chronicle.setdefault(chronicle_name, []).append(registered)
+        return view
+
+    def register_periodic(self, view_set: PeriodicViewSet, group: ChronicleGroup) -> PeriodicViewSet:
+        """Register a periodic view set (it handles its own routing)."""
+        if view_set.name in self._views or view_set.name in self._periodic:
+            raise ViewRegistrationError(f"view name {view_set.name!r} already registered")
+        self._periodic[view_set.name] = view_set
+        view_set.attach(group)
+        return view_set
+
+    def unregister(self, name: str) -> None:
+        """Drop a registered view."""
+        if name in self._periodic:
+            del self._periodic[name]
+            return
+        registered = self._views.pop(name, None)
+        if registered is None:
+            raise ViewRegistrationError(f"no view named {name!r}")
+        for views in self._by_chronicle.values():
+            if registered in views:
+                views.remove(registered)
+
+    # -- lookup ------------------------------------------------------------------------
+
+    def view(self, name: str) -> PersistentView:
+        try:
+            return self._views[name].view
+        except KeyError:
+            raise ViewRegistrationError(f"no view named {name!r}") from None
+
+    def periodic(self, name: str) -> PeriodicViewSet:
+        try:
+            return self._periodic[name]
+        except KeyError:
+            raise ViewRegistrationError(f"no periodic view named {name!r}") from None
+
+    def views(self) -> Iterator[PersistentView]:
+        for registered in self._views.values():
+            yield registered.view
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._views or name in self._periodic
+
+    def __len__(self) -> int:
+        return len(self._views) + len(self._periodic)
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Routing statistics: events, candidate views, maintained views."""
+        return dict(self._stats)
+
+    # -- routing -----------------------------------------------------------------------
+
+    def attach(self, group: ChronicleGroup) -> None:
+        """Subscribe the registry to a group's append events."""
+        group.subscribe(self.on_event)
+
+    def on_event(self, group: ChronicleGroup, event: Mapping[str, Tuple[Row, ...]]) -> int:
+        """Route one append event; returns how many views were maintained.
+
+        Periodic view sets attached to the group route themselves.
+        """
+        self._stats["events"] += 1
+        candidates: Dict[str, RegisteredView] = {}
+        for chronicle_name in event:
+            for registered in self._by_chronicle.get(chronicle_name, ()):
+                candidates[registered.view.name] = registered
+        self._stats["candidate_views"] += len(candidates)
+        deltas: Optional[Dict[str, Delta]] = None
+        cache: Dict[int, Delta] = {}
+        maintained = 0
+        for registered in candidates.values():
+            if self.prefilter and not any(
+                registered.might_be_affected(name, rows)
+                for name, rows in event.items()
+            ):
+                continue
+            if deltas is None:
+                deltas = event_deltas(group, event)
+            # One delta cache per event: views sharing subexpression
+            # objects compute each shared node's delta once.
+            registered.view.apply_event(deltas, cache=cache)
+            maintained += 1
+        self._stats["maintained_views"] += maintained
+        return maintained

@@ -1,0 +1,21 @@
+"""Seeded synthetic transaction-stream generators (DESIGN.md §3)."""
+
+from .banking import BankingWorkload
+from .base import Workload, ZipfChooser
+from .credit_card import CreditCardWorkload
+from .frequent_flyer import FrequentFlyerWorkload, premier_status
+from .sensors import SensorWorkload
+from .stocks import StockWorkload
+from .telecom import TelecomWorkload
+
+__all__ = [
+    "Workload",
+    "ZipfChooser",
+    "TelecomWorkload",
+    "BankingWorkload",
+    "CreditCardWorkload",
+    "FrequentFlyerWorkload",
+    "premier_status",
+    "StockWorkload",
+    "SensorWorkload",
+]

@@ -1,0 +1,87 @@
+"""Consumer-banking workload: ATM withdrawals, deposits, fees.
+
+Models the Section 1 ATM scenario: "some applications, such as ATM
+withdrawals, require that a summary field (dollar_balance) be updated as
+the transaction is executed, since the summary query needs to be made
+before the next ATM withdrawal."  Amounts are signed integer cents.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from .base import SchemaSpec, Workload, ZipfChooser
+
+_KINDS = ("withdrawal", "deposit", "fee", "check")
+
+
+class BankingWorkload(Workload):
+    """A stream of account transactions.
+
+    Record attributes
+    -----------------
+    acct:
+        Account number (hot-skewed).
+    kind:
+        One of withdrawal/deposit/fee/check.
+    cents:
+        Signed amount in cents (deposits positive, the rest negative).
+    day:
+        Day index (chronon).
+    """
+
+    NAME = "transactions"
+    CHRONICLE_SCHEMA: SchemaSpec = [
+        ("acct", "INT"),
+        ("kind", "STR"),
+        ("cents", "INT"),
+        ("day", "INT"),
+    ]
+
+    def __init__(
+        self,
+        seed: int = 11,
+        accounts: int = 500,
+        transactions_per_day: int = 150,
+    ) -> None:
+        super().__init__(seed)
+        self.accounts = accounts
+        self.transactions_per_day = max(transactions_per_day, 1)
+        self._chooser = ZipfChooser(accounts, rng=self.rng)
+
+    def record(self, index: int) -> Dict[str, Any]:
+        acct = 100_000 + self._chooser.choose()
+        roll = self.rng.random()
+        if roll < 0.45:
+            kind, cents = "withdrawal", -self.rng.randrange(2_000, 40_001)
+        elif roll < 0.75:
+            kind, cents = "deposit", self.rng.randrange(5_000, 300_001)
+        elif roll < 0.9:
+            kind, cents = "check", -self.rng.randrange(1_000, 150_001)
+        else:
+            kind, cents = "fee", -self.rng.randrange(100, 2_501)
+        return {
+            "acct": acct,
+            "kind": kind,
+            "cents": cents,
+            "day": index // self.transactions_per_day,
+        }
+
+    def account_rows(self, opening_balance_cents: int = 100_000) -> List[Dict[str, Any]]:
+        """Rows for an ``accounts`` relation (acct, holder, opened_day)."""
+        rows = []
+        for offset in range(self.accounts):
+            rows.append(
+                {
+                    "acct": 100_000 + offset,
+                    "holder": f"holder_{offset}",
+                    "opening_cents": opening_balance_cents,
+                }
+            )
+        return rows
+
+    ACCOUNT_SCHEMA: SchemaSpec = [
+        ("acct", "INT"),
+        ("holder", "STR"),
+        ("opening_cents", "INT"),
+    ]

@@ -1,0 +1,110 @@
+"""Frequent-flyer workload: the paper's running example (Examples 2.1/2.2).
+
+One chronicle of mileage transactions; a customers relation (account,
+name, address state); persistent views for mileage balance, miles
+actually flown, and premier status.  New-Jersey residents get a 500-mile
+bonus per flight *based on the address at flight time* — the temporal
+join the proactive-update rule makes maintainable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from .base import SchemaSpec, Workload, ZipfChooser
+
+_STATES = ("NJ", "NY", "CT", "PA", "CA", "TX")
+_SOURCES = ("flight", "partner", "promotion")
+
+
+class FrequentFlyerWorkload(Workload):
+    """A stream of mileage transactions.
+
+    Record attributes
+    -----------------
+    acct:
+        Customer account (hot-skewed: frequent flyers fly frequently).
+    miles:
+        Miles posted (flights 100..5000; partner/promotion smaller).
+    source:
+        flight | partner | promotion (only flights count as "flown").
+    day:
+        Day index (chronon).
+    """
+
+    NAME = "mileage"
+    CHRONICLE_SCHEMA: SchemaSpec = [
+        ("acct", "INT"),
+        ("miles", "INT"),
+        ("source", "STR"),
+        ("day", "INT"),
+    ]
+
+    def __init__(
+        self,
+        seed: int = 23,
+        customers: int = 400,
+        postings_per_day: int = 120,
+    ) -> None:
+        super().__init__(seed)
+        self.customers = customers
+        self.postings_per_day = max(postings_per_day, 1)
+        self._chooser = ZipfChooser(customers, rng=self.rng)
+
+    def record(self, index: int) -> Dict[str, Any]:
+        acct = 9_000_000 + self._chooser.choose()
+        roll = self.rng.random()
+        if roll < 0.7:
+            source, miles = "flight", self.rng.randrange(100, 5_001)
+        elif roll < 0.9:
+            source, miles = "partner", self.rng.randrange(50, 1_001)
+        else:
+            source, miles = "promotion", self.rng.randrange(250, 2_501)
+        return {
+            "acct": acct,
+            "miles": miles,
+            "source": source,
+            "day": index // self.postings_per_day,
+        }
+
+    def customer_rows(self) -> List[Dict[str, Any]]:
+        """Rows for the ``customers`` relation of Example 2.1."""
+        rows = []
+        rng = self.rng
+        for offset in range(self.customers):
+            rows.append(
+                {
+                    "acct": 9_000_000 + offset,
+                    "name": f"customer_{offset}",
+                    "state": _STATES[rng.randrange(len(_STATES))],
+                }
+            )
+        return rows
+
+    def address_change(self, day: int) -> Tuple[int, str]:
+        """A random proactive address update: (acct, new_state)."""
+        acct = 9_000_000 + self.rng.randrange(self.customers)
+        return acct, _STATES[self.rng.randrange(len(_STATES))]
+
+    CUSTOMER_SCHEMA: SchemaSpec = [
+        ("acct", "INT"),
+        ("name", "STR"),
+        ("state", "STR"),
+    ]
+
+
+#: Premier-status thresholds (miles flown → tier), per Example 2.1.
+PREMIER_TIERS: Tuple[Tuple[int, str], ...] = (
+    (25_000, "bronze"),
+    (50_000, "silver"),
+    (100_000, "gold"),
+)
+
+
+def premier_status(miles_flown: int) -> str:
+    """Map miles actually flown to the premier tier of Example 2.1."""
+    status = "member"
+    for threshold, tier in PREMIER_TIERS:
+        if miles_flown >= threshold:
+            status = tier
+    return status

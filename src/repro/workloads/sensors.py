@@ -1,0 +1,86 @@
+"""Industrial-control sensor workload.
+
+The paper lists "sensor outputs in a control system" among the chronicle
+streams.  Readings random-walk per sensor with occasional spikes, so MIN /
+MAX / AVG / STDEV views (and out-of-range alarm views) all have something
+to see.  Values are integer milli-units for exact arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from .base import SchemaSpec, Workload
+
+
+class SensorWorkload(Workload):
+    """A stream of sensor readings.
+
+    Record attributes
+    -----------------
+    sensor:
+        Sensor id (round-robin with jitter — control systems poll).
+    milli:
+        Reading in milli-units, random-walked around a per-sensor base.
+    status:
+        ok | spike (spikes are rare out-of-range excursions).
+    tick:
+        Polling tick index (chronon).
+    """
+
+    NAME = "readings"
+    CHRONICLE_SCHEMA: SchemaSpec = [
+        ("sensor", "INT"),
+        ("milli", "INT"),
+        ("status", "STR"),
+        ("tick", "INT"),
+    ]
+
+    def __init__(
+        self,
+        seed: int = 53,
+        sensors: int = 64,
+        spike_probability: float = 0.005,
+    ) -> None:
+        super().__init__(seed)
+        self.sensors = sensors
+        self.spike_probability = spike_probability
+        self._levels: Dict[int, int] = {
+            sensor: 20_000 + self.rng.randrange(-5_000, 5_001)
+            for sensor in range(sensors)
+        }
+
+    def record(self, index: int) -> Dict[str, Any]:
+        sensor = (index + self.rng.randrange(3)) % self.sensors
+        level = self._levels[sensor] + self.rng.randrange(-200, 201)
+        self._levels[sensor] = level
+        if self.rng.random() < self.spike_probability:
+            status = "spike"
+            milli = level + self.rng.choice((-1, 1)) * self.rng.randrange(5_000, 20_001)
+        else:
+            status = "ok"
+            milli = level
+        return {
+            "sensor": sensor,
+            "milli": milli,
+            "status": status,
+            "tick": index // self.sensors,
+        }
+
+    def sensor_rows(self) -> List[Dict[str, Any]]:
+        """Rows for a ``sensors`` relation (sensor, unit, zone)."""
+        units = ("kPa", "C", "rpm", "V")
+        return [
+            {
+                "sensor": sensor,
+                "unit": units[sensor % len(units)],
+                "zone": sensor // 8,
+            }
+            for sensor in range(self.sensors)
+        ]
+
+    SENSOR_SCHEMA: SchemaSpec = [
+        ("sensor", "INT"),
+        ("unit", "STR"),
+        ("zone", "INT"),
+    ]

@@ -1,0 +1,93 @@
+"""Call-detail-record (CDR) workload.
+
+The paper's lead example: a cellular company posting call records and
+answering "total minutes of calls made in the current billing month from
+a phone number" at phone power-on (Section 1).  Amounts are integer cents
+and durations integer seconds so incremental/batch comparisons are exact.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from .base import SchemaSpec, Workload, ZipfChooser
+
+
+class TelecomWorkload(Workload):
+    """A stream of cellular call records.
+
+    Record attributes
+    -----------------
+    caller:
+        Phone number (hot-skewed over *subscribers*).
+    callee:
+        Called number.
+    seconds:
+        Call duration in seconds (1..3600, short-call biased).
+    cents:
+        Charge in integer cents, duration-proportional plus per-call fee.
+    day:
+        Day index since service start (monotone non-decreasing) — the
+        chronon the billing calendars bucket by.
+    """
+
+    NAME = "calls"
+    CHRONICLE_SCHEMA: SchemaSpec = [
+        ("caller", "INT"),
+        ("callee", "INT"),
+        ("seconds", "INT"),
+        ("cents", "INT"),
+        ("day", "INT"),
+    ]
+
+    def __init__(
+        self,
+        seed: int = 7,
+        subscribers: int = 1000,
+        calls_per_day: int = 200,
+        rate_cents_per_minute: int = 12,
+        connection_fee_cents: int = 15,
+    ) -> None:
+        super().__init__(seed)
+        self.subscribers = subscribers
+        self.calls_per_day = max(calls_per_day, 1)
+        self.rate = rate_cents_per_minute
+        self.fee = connection_fee_cents
+        self._chooser = ZipfChooser(subscribers, rng=self.rng)
+
+    def record(self, index: int) -> Dict[str, Any]:
+        caller = 5_550_000 + self._chooser.choose()
+        callee = 5_550_000 + self.rng.randrange(self.subscribers)
+        # Short calls dominate: exponential-ish via min of uniforms.
+        seconds = 1 + min(self.rng.randrange(3600), self.rng.randrange(3600))
+        minutes_billed = (seconds + 59) // 60
+        cents = self.fee + self.rate * minutes_billed
+        return {
+            "caller": caller,
+            "callee": callee,
+            "seconds": seconds,
+            "cents": cents,
+            "day": index // self.calls_per_day,
+        }
+
+    def subscriber_rows(self) -> List[Dict[str, Any]]:
+        """Rows for a ``subscribers`` relation (number, plan, state)."""
+        plans = ("basic", "plus", "premier")
+        states = ("NJ", "NY", "CT", "PA")
+        rows = []
+        rng = self.rng
+        for offset in range(self.subscribers):
+            rows.append(
+                {
+                    "number": 5_550_000 + offset,
+                    "plan": plans[rng.randrange(len(plans))],
+                    "state": states[rng.randrange(len(states))],
+                }
+            )
+        return rows
+
+    SUBSCRIBER_SCHEMA: SchemaSpec = [
+        ("number", "INT"),
+        ("plan", "STR"),
+        ("state", "STR"),
+    ]

@@ -1,0 +1,220 @@
+"""Tests for the aggregation framework, including the paper's O(1)-step
+contract (batch == fold) and decomposability (merge) properties."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregates.base import AggregateSpec, NonIncrementalAggregate, spec
+from repro.aggregates.registry import AggregateRegistry, default_registry
+from repro.aggregates.standard import (
+    AVG,
+    COUNT,
+    FIRST,
+    LAST,
+    MAX,
+    MIN,
+    STDEV,
+    SUM,
+    VAR,
+)
+from repro.errors import AggregateError, NotIncrementalError
+from repro.relational.types import FLOAT, INT
+
+ALL_AGGREGATES = (COUNT, SUM, MIN, MAX, AVG, VAR, STDEV, FIRST, LAST)
+MERGEABLE = tuple(a for a in ALL_AGGREGATES if a.mergeable)
+INVERTIBLE = tuple(a for a in ALL_AGGREGATES if a.invertible)
+
+
+def fold(aggregate, values):
+    state = aggregate.initial()
+    for value in values:
+        state = aggregate.step(state, value)
+    return aggregate.finalize(state)
+
+
+class TestBatchResults:
+    def test_count(self):
+        assert fold(COUNT, [5, 5, 5]) == 3
+        assert fold(COUNT, []) == 0
+
+    def test_sum(self):
+        assert fold(SUM, [1, 2, 3]) == 6
+        assert fold(SUM, []) == 0
+
+    def test_min_max(self):
+        assert fold(MIN, [3, 1, 2]) == 1
+        assert fold(MAX, [3, 1, 2]) == 3
+        assert fold(MIN, []) is None
+        assert fold(MAX, []) is None
+
+    def test_min_max_strings(self):
+        assert fold(MIN, ["pear", "apple"]) == "apple"
+        assert fold(MAX, ["pear", "apple"]) == "pear"
+
+    def test_avg(self):
+        assert fold(AVG, [1, 2, 3]) == 2.0
+        assert fold(AVG, []) is None
+
+    def test_var(self):
+        assert fold(VAR, [2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(4.0)
+        assert fold(VAR, []) is None
+
+    def test_stdev(self):
+        assert fold(STDEV, [2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(2.0)
+
+    def test_first_last(self):
+        assert fold(FIRST, [7, 8, 9]) == 7
+        assert fold(LAST, [7, 8, 9]) == 9
+        assert fold(FIRST, []) is None
+        assert fold(LAST, []) is None
+
+    def test_compute_matches_fold(self):
+        for aggregate in ALL_AGGREGATES:
+            assert aggregate.compute([3, 1, 4, 1, 5]) == fold(aggregate, [3, 1, 4, 1, 5])
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(-1000, 1000)), st.lists(st.integers(-1000, 1000)))
+def test_merge_decomposition(left, right):
+    """Property: fold(a ++ b) == merge(fold a, fold b) for mergeable
+    aggregates — the decomposability the paper's Preliminaries require."""
+    for aggregate in MERGEABLE:
+        whole = aggregate.initial()
+        for v in left + right:
+            whole = aggregate.step(whole, v)
+        part_l = aggregate.initial()
+        for v in left:
+            part_l = aggregate.step(part_l, v)
+        part_r = aggregate.initial()
+        for v in right:
+            part_r = aggregate.step(part_r, v)
+        merged = aggregate.merge(part_l, part_r)
+        a, b = aggregate.finalize(whole), aggregate.finalize(merged)
+        if isinstance(a, float) and isinstance(b, float):
+            assert a == pytest.approx(b)
+        else:
+            assert a == b
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(-1000, 1000), min_size=1))
+def test_unstep_inverts_step(values):
+    """Property: unstep removes the last-stepped value exactly."""
+    for aggregate in INVERTIBLE:
+        state = aggregate.initial()
+        for v in values:
+            state = aggregate.step(state, v)
+        undone = aggregate.unstep(state, values[-1])
+        rebuilt = aggregate.initial()
+        for v in values[:-1]:
+            rebuilt = aggregate.step(rebuilt, v)
+        assert undone == rebuilt
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(-100, 100)), st.lists(st.integers(-100, 100)))
+def test_unmerge_inverts_merge(kept, evicted):
+    """Property: unmerge(merge(a, b), b) == a for invertible aggregates —
+    the cyclic-buffer eviction step."""
+    for aggregate in INVERTIBLE:
+        a = aggregate.initial()
+        for v in kept:
+            a = aggregate.step(a, v)
+        b = aggregate.initial()
+        for v in evicted:
+            b = aggregate.step(b, v)
+        assert aggregate.unmerge(aggregate.merge(a, b), b) == a
+
+
+class TestOutputDomains:
+    def test_count_outputs_int(self):
+        assert COUNT.output_domain(INT) is INT
+        assert COUNT.output_domain(None) is INT
+
+    def test_avg_outputs_float(self):
+        assert AVG.output_domain(INT) is FLOAT
+
+    def test_sum_preserves_input(self):
+        assert SUM.output_domain(INT) is INT
+
+    def test_min_preserves_input(self):
+        from repro.relational.types import STR
+
+        assert MIN.output_domain(STR) is STR
+
+
+class TestAggregateSpec:
+    def test_default_output_name(self):
+        assert spec(SUM, "miles").output == "sum_miles"
+        assert spec(COUNT).output == "count"
+
+    def test_explicit_output_name(self):
+        assert spec(SUM, "miles", "balance").output == "balance"
+
+    def test_argument_extraction(self):
+        from repro.relational.schema import Schema
+        from repro.relational.tuples import Row
+
+        row = Row(Schema.build(("miles", "INT")), [250])
+        assert spec(SUM, "miles").argument(row) == 250
+        assert spec(COUNT).argument(row) == 1
+
+    def test_missing_attribute_rejected(self):
+        with pytest.raises(AggregateError):
+            AggregateSpec(SUM)
+
+    def test_require_incremental_accepts_standard(self):
+        spec(SUM, "x").require_incremental()
+
+    def test_require_incremental_rejects_batch_aggregate(self):
+        median = NonIncrementalAggregate("MEDIAN", lambda vs: sorted(vs)[len(vs) // 2])
+        with pytest.raises(NotIncrementalError):
+            spec(median, "x").require_incremental()
+
+    def test_non_incremental_still_computes(self):
+        median = NonIncrementalAggregate("MEDIAN", lambda vs: sorted(vs)[len(vs) // 2])
+        assert fold(median, [5, 1, 3]) == 3
+
+
+class TestRegistry:
+    def test_default_contains_standard(self):
+        registry = default_registry()
+        for name in ("SUM", "COUNT", "MIN", "MAX", "AVG", "VAR", "STDEV", "FIRST", "LAST"):
+            assert name in registry
+
+    def test_lookup_case_insensitive(self):
+        assert default_registry().get("sum") is SUM
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(AggregateError):
+            default_registry().get("MEDIAN")
+
+    def test_register_custom(self):
+        registry = AggregateRegistry()
+        median = NonIncrementalAggregate("MEDIAN", lambda vs: 0)
+        registry.register(median)
+        assert registry.get("median") is median
+
+    def test_register_duplicate_rejected(self):
+        registry = default_registry()
+        with pytest.raises(AggregateError):
+            registry.register(SUM)
+
+    def test_register_replace(self):
+        registry = default_registry()
+        registry.register(SUM, replace=True)
+        assert registry.get("SUM") is SUM
+
+    def test_copy_is_independent(self):
+        registry = default_registry()
+        clone = registry.copy()
+        clone.register(NonIncrementalAggregate("MEDIAN", lambda vs: 0))
+        assert "MEDIAN" in clone
+        assert "MEDIAN" not in registry
+
+    def test_iteration_sorted(self):
+        names = list(default_registry())
+        assert names == sorted(names)

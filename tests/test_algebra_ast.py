@@ -1,0 +1,218 @@
+"""Tests for chronicle-algebra AST construction rules (Definition 4.1,
+Theorem 4.3(1) rejections, chronicle-group checks, key-join guarantee)."""
+
+import pytest
+
+from repro.aggregates import COUNT, SUM, spec
+from repro.algebra.ast import (
+    ChronicleProduct,
+    ChronicleScan,
+    NonEquiSeqJoin,
+    scan,
+)
+from repro.core.group import ChronicleGroup
+from repro.errors import (
+    AlgebraError,
+    ChronicleGroupError,
+    KeyJoinGuaranteeError,
+    NotAChronicleError,
+    SchemaError,
+    UnknownAttributeError,
+)
+from repro.relational.predicate import attr_cmp, attr_eq
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+@pytest.fixture
+def setup():
+    group = ChronicleGroup("g")
+    calls = group.create_chronicle("calls", [("acct", "INT"), ("mins", "INT")])
+    fees = group.create_chronicle("fees", [("acct", "INT"), ("mins", "INT")])
+    customers = Relation(
+        "customers", Schema.build(("acct", "INT"), ("state", "STR"), key=["acct"])
+    )
+    return group, calls, fees, customers
+
+
+class TestScanSelectProject:
+    def test_scan_schema(self, setup):
+        _, calls, _, _ = setup
+        node = scan(calls)
+        assert node.schema is calls.schema
+        assert node.group is calls.group
+
+    def test_select_keeps_schema(self, setup):
+        _, calls, _, _ = setup
+        node = scan(calls).select(attr_cmp("mins", ">", 0))
+        assert node.schema == calls.schema
+
+    def test_select_unknown_attribute(self, setup):
+        _, calls, _, _ = setup
+        with pytest.raises(UnknownAttributeError):
+            scan(calls).select(attr_eq("zzz", 1))
+
+    def test_project_keeping_sn(self, setup):
+        _, calls, _, _ = setup
+        node = scan(calls).project(["sn", "acct"])
+        assert node.schema.names == ("sn", "acct")
+        assert node.schema.sequence_attribute == "sn"
+
+    def test_project_dropping_sn_rejected(self, setup):
+        # Theorem 4.3(1): the result would not be a chronicle.
+        _, calls, _, _ = setup
+        with pytest.raises(NotAChronicleError):
+            scan(calls).project(["acct"])
+
+
+class TestBinaryOperators:
+    def test_union_same_group(self, setup):
+        _, calls, fees, _ = setup
+        node = scan(calls).union(scan(fees))
+        assert node.schema.compatible_with(calls.schema)
+
+    def test_union_incompatible_schemas(self, setup):
+        group, calls, _, _ = setup
+        other = group.create_chronicle("other", [("x", "STR")])
+        with pytest.raises(SchemaError):
+            scan(calls).union(scan(other))
+
+    def test_union_across_groups_rejected(self, setup):
+        _, calls, _, _ = setup
+        group2 = ChronicleGroup("g2")
+        foreign = group2.create_chronicle("calls2", [("acct", "INT"), ("mins", "INT")])
+        with pytest.raises(ChronicleGroupError):
+            scan(calls).union(scan(foreign))
+
+    def test_difference_same_group(self, setup):
+        _, calls, fees, _ = setup
+        node = scan(calls).minus(scan(fees))
+        assert node.schema.compatible_with(calls.schema)
+
+    def test_difference_across_groups_rejected(self, setup):
+        _, calls, _, _ = setup
+        group2 = ChronicleGroup("g2")
+        foreign = group2.create_chronicle("x", [("acct", "INT"), ("mins", "INT")])
+        with pytest.raises(ChronicleGroupError):
+            scan(calls).minus(scan(foreign))
+
+    def test_seq_join_schema(self, setup):
+        _, calls, fees, _ = setup
+        node = scan(calls).join(scan(fees))
+        # right sequencing attribute projected out; clashes prefixed
+        assert node.schema.names == ("sn", "acct", "mins", "r_acct", "r_mins")
+        assert node.schema.sequence_attribute == "sn"
+
+    def test_seq_join_across_groups_rejected(self, setup):
+        _, calls, _, _ = setup
+        group2 = ChronicleGroup("g2")
+        foreign = group2.create_chronicle("x", [("acct", "INT"), ("mins", "INT")])
+        with pytest.raises(ChronicleGroupError):
+            scan(calls).join(scan(foreign))
+
+
+class TestGroupBySeq:
+    def test_groupby_with_sn(self, setup):
+        _, calls, _, _ = setup
+        node = scan(calls).groupby_sn(["sn", "acct"], [spec(SUM, "mins")])
+        assert node.schema.names == ("sn", "acct", "sum_mins")
+        assert node.schema.sequence_attribute == "sn"
+
+    def test_groupby_without_sn_rejected(self, setup):
+        # Theorem 4.3(1): grouping without the SN is summarization.
+        _, calls, _, _ = setup
+        with pytest.raises(NotAChronicleError):
+            scan(calls).groupby_sn(["acct"], [spec(SUM, "mins")])
+
+    def test_groupby_requires_aggregates(self, setup):
+        _, calls, _, _ = setup
+        with pytest.raises(AlgebraError):
+            scan(calls).groupby_sn(["sn"], [])
+
+    def test_groupby_unknown_aggregate_attr(self, setup):
+        _, calls, _, _ = setup
+        with pytest.raises(UnknownAttributeError):
+            scan(calls).groupby_sn(["sn"], [spec(SUM, "zzz")])
+
+
+class TestRelationOperators:
+    def test_product_schema(self, setup):
+        _, calls, _, customers = setup
+        node = scan(calls).product(customers)
+        assert node.schema.names == ("sn", "acct", "mins", "r_acct", "state")
+
+    def test_keyjoin_schema_drops_joined_key(self, setup):
+        _, calls, _, customers = setup
+        node = scan(calls).keyjoin(customers, [("acct", "acct")])
+        assert node.schema.names == ("sn", "acct", "mins", "state")
+
+    def test_keyjoin_requires_unique_guarantee(self, setup):
+        # Definition 4.2: joining on a non-key has no constant-match bound.
+        _, calls, _, _ = setup
+        states = Relation("states", Schema.build(("state", "STR"), ("tax", "INT")))
+        with pytest.raises(KeyJoinGuaranteeError):
+            scan(calls).keyjoin(states, [("acct", "tax")])
+
+    def test_keyjoin_accepts_unique_secondary_index(self, setup):
+        _, calls, _, _ = setup
+        lookup = Relation("lookup", Schema.build(("code", "INT"), ("label", "STR")))
+        lookup.create_index(["code"], unique=True)
+        node = scan(calls).keyjoin(lookup, [("acct", "code")])
+        assert "label" in node.schema
+
+    def test_keyjoin_requires_pairs(self, setup):
+        _, calls, _, customers = setup
+        with pytest.raises(AlgebraError):
+            scan(calls).keyjoin(customers, [])
+
+    def test_relations_listed(self, setup):
+        _, calls, _, customers = setup
+        node = scan(calls).keyjoin(customers, [("acct", "acct")])
+        assert node.relations() == [customers]
+
+    def test_chronicles_listed(self, setup):
+        _, calls, fees, _ = setup
+        node = scan(calls).union(scan(fees))
+        assert [c.name for c in node.chronicles()] == ["calls", "fees"]
+
+
+class TestExtensionOperators:
+    def test_chronicle_product_constructible(self, setup):
+        _, calls, fees, _ = setup
+        node = ChronicleProduct(scan(calls), scan(fees))
+        assert len(node.schema) == len(calls.schema) + len(fees.schema)
+
+    def test_chronicle_product_across_groups_rejected(self, setup):
+        _, calls, _, _ = setup
+        group2 = ChronicleGroup("g2")
+        foreign = group2.create_chronicle("x", [("v", "INT")])
+        with pytest.raises(ChronicleGroupError):
+            ChronicleProduct(scan(calls), scan(foreign))
+
+    def test_non_equi_join_constructible(self, setup):
+        _, calls, fees, _ = setup
+        node = NonEquiSeqJoin(scan(calls), scan(fees), "<")
+        assert node.op == "<"
+
+    def test_non_equi_join_rejects_equality(self, setup):
+        _, calls, fees, _ = setup
+        with pytest.raises(AlgebraError):
+            NonEquiSeqJoin(scan(calls), scan(fees), "=")
+
+    def test_non_equi_join_rejects_unknown_op(self, setup):
+        _, calls, fees, _ = setup
+        with pytest.raises(AlgebraError):
+            NonEquiSeqJoin(scan(calls), scan(fees), "~")
+
+
+class TestTreeQueries:
+    def test_walk_preorder(self, setup):
+        _, calls, fees, _ = setup
+        node = scan(calls).union(scan(fees)).select(attr_eq("acct", 1))
+        kinds = [type(n).__name__ for n in node.walk()]
+        assert kinds == ["Select", "Union", "ChronicleScan", "ChronicleScan"]
+
+    def test_group_of_composite(self, setup):
+        group, calls, fees, _ = setup
+        node = scan(calls).join(scan(fees))
+        assert node.group is group

@@ -1,0 +1,179 @@
+"""Tests for the command-line session (repro.cli)."""
+
+import io
+
+import pytest
+
+from repro.cli import CliError, Session
+from repro.errors import ChronicleError
+
+
+@pytest.fixture
+def session():
+    s = Session()
+    s.execute("CREATE CHRONICLE calls (caller INT, minutes INT) RETENTION 0")
+    s.execute("CREATE RELATION subscribers (number INT, state STR) KEY (number)")
+    return s
+
+
+class TestCatalogStatements:
+    def test_create_chronicle(self):
+        s = Session()
+        out = s.execute("CREATE CHRONICLE calls (caller INT, minutes INT)")
+        assert "calls" in out and "retention=all" in out
+
+    def test_create_chronicle_with_retention(self):
+        s = Session()
+        out = s.execute("CREATE CHRONICLE calls (caller INT) RETENTION 5")
+        assert "retention=5" in out
+        assert s.db.chronicle("calls").retention == 5
+
+    def test_create_relation_with_key(self, session):
+        assert session.db.relation("subscribers").schema.key == ("number",)
+
+    def test_create_relation_without_key(self):
+        s = Session()
+        out = s.execute("CREATE RELATION r (a INT, b STR)")
+        assert "created" in out
+
+    def test_bad_attribute_spec(self):
+        s = Session()
+        with pytest.raises(CliError):
+            s.execute("CREATE CHRONICLE calls (caller)")
+
+    def test_missing_attr_list(self):
+        s = Session()
+        with pytest.raises(CliError):
+            s.execute("CREATE CHRONICLE calls")
+
+
+class TestDataStatements:
+    def test_insert_single(self, session):
+        out = session.execute('INSERT subscribers {"number": 1, "state": "NJ"}')
+        assert "1 row(s)" in out
+        assert session.db.relation("subscribers").lookup_key((1,))["state"] == "NJ"
+
+    def test_insert_list(self, session):
+        out = session.execute(
+            'INSERT subscribers [{"number": 1, "state": "NJ"}, {"number": 2, "state": "NY"}]'
+        )
+        assert "2 row(s)" in out
+
+    def test_insert_bad_json(self, session):
+        with pytest.raises(CliError):
+            session.execute("INSERT subscribers {bad json}")
+
+    def test_append(self, session):
+        out = session.execute('APPEND calls {"caller": 1, "minutes": 5}')
+        assert "sequence 0" in out
+        out = session.execute('APPEND calls {"caller": 1, "minutes": 5}')
+        assert "sequence 1" in out
+
+    def test_append_missing_payload(self, session):
+        with pytest.raises(CliError):
+            session.execute("APPEND calls")
+
+
+class TestViewsAndQueries:
+    def test_define_and_query(self, session):
+        out = session.execute(
+            "DEFINE VIEW usage AS SELECT caller, SUM(minutes) AS total "
+            "FROM calls GROUP BY caller"
+        )
+        assert "IM-Constant" in out
+        session.execute('APPEND calls {"caller": 7, "minutes": 5}')
+        session.execute('APPEND calls {"caller": 7, "minutes": 3}')
+        out = session.execute("QUERY usage 7")
+        assert "total=8" in out
+
+    def test_query_missing_key(self, session):
+        session.execute(
+            "DEFINE VIEW usage AS SELECT caller, SUM(minutes) AS total "
+            "FROM calls GROUP BY caller"
+        )
+        out = session.execute("QUERY usage 99")
+        assert "no row" in out
+
+    def test_query_all_rows(self, session):
+        session.execute(
+            "DEFINE VIEW usage AS SELECT caller, SUM(minutes) AS total "
+            "FROM calls GROUP BY caller"
+        )
+        session.execute('APPEND calls {"caller": 1, "minutes": 5}')
+        session.execute('APPEND calls {"caller": 2, "minutes": 6}')
+        out = session.execute("QUERY usage")
+        assert out.count("caller=") == 2
+
+    def test_show_view(self, session):
+        session.execute(
+            "DEFINE VIEW usage AS SELECT caller, SUM(minutes) AS total "
+            "FROM calls GROUP BY caller"
+        )
+        session.execute('APPEND calls {"caller": 1, "minutes": 5}')
+        out = session.execute("SHOW VIEW usage")
+        assert "caller=1" in out
+
+    def test_show_catalog(self, session):
+        session.execute(
+            "DEFINE VIEW usage AS SELECT caller, SUM(minutes) AS total "
+            "FROM calls GROUP BY caller"
+        )
+        out = session.execute("SHOW CATALOG")
+        assert "chronicle calls" in out
+        assert "relation subscribers" in out
+        assert "view usage" in out
+
+    def test_unknown_statement(self, session):
+        with pytest.raises(CliError):
+            session.execute("FROBNICATE everything")
+
+
+class TestCheckpointStatements:
+    def test_checkpoint_restore(self, tmp_path, session):
+        session.execute(
+            "DEFINE VIEW usage AS SELECT caller, SUM(minutes) AS total "
+            "FROM calls GROUP BY caller"
+        )
+        session.execute('APPEND calls {"caller": 1, "minutes": 9}')
+        path = str(tmp_path / "cli.ckpt")
+        session.execute(f"CHECKPOINT {path}")
+
+        fresh = Session()
+        fresh.execute("CREATE CHRONICLE calls (caller INT, minutes INT) RETENTION 0")
+        fresh.execute("CREATE RELATION subscribers (number INT, state STR) KEY (number)")
+        fresh.execute(
+            "DEFINE VIEW usage AS SELECT caller, SUM(minutes) AS total "
+            "FROM calls GROUP BY caller"
+        )
+        fresh.execute(f"RESTORE {path}")
+        assert "total=9" in fresh.execute("QUERY usage 1")
+
+
+class TestScripts:
+    SCRIPT = """
+    -- a comment;
+    CREATE CHRONICLE calls (caller INT, minutes INT) RETENTION 0;
+    DEFINE VIEW usage AS
+        SELECT caller, SUM(minutes) AS total FROM calls GROUP BY caller;
+    APPEND calls {"caller": 1, "minutes": 5};
+    QUERY usage 1;
+    """
+
+    def test_split_statements_respects_strings(self):
+        statements = Session.split_statements("A 'x;y'; B")
+        assert statements == ["A 'x;y'", "B"]
+
+    def test_run_script(self):
+        out = io.StringIO()
+        failures = Session().run_script(self.SCRIPT, out)
+        assert failures == 0
+        assert "total=5" in out.getvalue()
+
+    def test_run_script_reports_errors_and_continues(self):
+        out = io.StringIO()
+        failures = Session().run_script(
+            "APPEND nowhere {\"x\": 1}; CREATE CHRONICLE c (a INT);", out
+        )
+        assert failures == 1
+        assert "error:" in out.getvalue()
+        assert "created" in out.getvalue()

@@ -1,0 +1,159 @@
+"""Tests for the measurement kit: counters, fitting, sweep harness."""
+
+import math
+
+import pytest
+
+from repro.complexity.counters import GLOBAL_COUNTERS, CostCounters
+from repro.complexity.fitting import fit_series, growth_ratio, is_flat
+from repro.complexity.harness import Sweep, format_table, measure, report
+
+
+class TestCounters:
+    def test_count_and_snapshot(self):
+        counters = CostCounters()
+        counters.count("tuple_op")
+        counters.count("index_probe", 5)
+        snap = counters.snapshot()
+        assert snap["tuple_op"] == 1
+        assert snap["index_probe"] == 5
+
+    def test_diff(self):
+        counters = CostCounters()
+        counters.count("tuple_op", 3)
+        before = counters.snapshot()
+        counters.count("tuple_op", 4)
+        assert counters.diff(before)["tuple_op"] == 4
+
+    def test_measure_context(self):
+        counters = CostCounters()
+        with counters.measure() as cost:
+            counters.count("view_read", 2)
+        assert cost["view_read"] == 2
+
+    def test_disabled_context(self):
+        counters = CostCounters()
+        with counters.disabled():
+            counters.count("tuple_op")
+        assert counters.counts["tuple_op"] == 0
+        counters.count("tuple_op")
+        assert counters.counts["tuple_op"] == 1
+
+    def test_reset_and_total(self):
+        counters = CostCounters()
+        counters.count("tuple_op", 2)
+        counters.count("index_probe")
+        assert counters.total == 3
+        counters.reset()
+        assert counters.total == 0
+
+    def test_global_counters_exist(self):
+        snapshot = GLOBAL_COUNTERS.snapshot()
+        assert set(snapshot) == set(CostCounters.EVENTS)
+
+
+class TestFitting:
+    def test_constant_series(self):
+        assert fit_series([10, 100, 1000, 10000], [7, 7.2, 6.9, 7.1]).model == "constant"
+
+    def test_linear_series(self):
+        assert fit_series([10, 100, 1000, 10000], [21, 201, 2001, 20001]).model == "linear"
+
+    def test_log_series(self):
+        xs = [2 ** k for k in range(3, 12)]
+        ys = [3 * math.log2(x) + 1 for x in xs]
+        assert fit_series(xs, ys).model == "log"
+
+    def test_quadratic_series(self):
+        xs = [10, 20, 40, 80, 160]
+        ys = [x * x for x in xs]
+        assert fit_series(xs, ys).model == "quadratic"
+
+    def test_nlogn_series(self):
+        xs = [2 ** k for k in range(4, 14)]
+        ys = [x * math.log2(x) for x in xs]
+        assert fit_series(xs, ys).model == "nlogn"
+
+    def test_prefers_simpler_model_within_tolerance(self):
+        # Slightly noisy constant data must not be called "log".
+        xs = [10, 100, 1000, 10000, 100000]
+        ys = [5.0, 5.3, 4.8, 5.1, 5.05]
+        assert fit_series(xs, ys).model == "constant"
+
+    def test_model_subset(self):
+        xs = [1, 2, 3, 4]
+        ys = [1, 4, 9, 16]
+        result = fit_series(xs, ys, models=("constant", "linear"))
+        assert result.model == "linear"
+
+    def test_predict(self):
+        fit = fit_series([1, 2, 3, 4], [2, 4, 6, 8]).best
+        assert fit.predict(10) == pytest.approx(20, abs=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_series([1, 2], [1, 2])
+        with pytest.raises(ValueError):
+            fit_series([1, 2, 3], [1, 2])
+
+    def test_r_squared_reported(self):
+        result = fit_series([1, 2, 3, 4], [2, 4, 6, 8])
+        assert result.best.r_squared == pytest.approx(1.0)
+
+    def test_growth_ratio(self):
+        assert growth_ratio([1, 10], [5, 50]) == pytest.approx(10.0)
+
+    def test_is_flat(self):
+        assert is_flat([1, 10, 100], [5, 5.5, 4.8])
+        assert not is_flat([1, 10, 100], [5, 50, 500])
+        assert is_flat([1, 2], [0, 0])
+
+
+class TestHarness:
+    def test_measure_counts_and_times(self):
+        result = measure(lambda: GLOBAL_COUNTERS.count("tuple_op", 3), repeats=4)
+        assert result.counters["tuple_op"] == 3
+        assert result.seconds >= 0
+
+    def test_sweep_runs_setup_uncounted(self):
+        sweep = Sweep("n")
+
+        def setup(n):
+            GLOBAL_COUNTERS.count("tuple_op", 1000)  # suspended
+            return lambda: GLOBAL_COUNTERS.count("tuple_op", int(n))
+
+        sweep.run([1, 2, 4], setup)
+        assert sweep.series("tuple_op") == [1.0, 2.0, 4.0]
+        assert sweep.xs == [1.0, 2.0, 4.0]
+
+    def test_sweep_fit(self):
+        sweep = Sweep("n")
+        sweep.run(
+            [10, 100, 1000],
+            lambda n: (lambda: GLOBAL_COUNTERS.count("tuple_op", 7)),
+        )
+        assert sweep.fit("tuple_op").model == "constant"
+
+    def test_sweep_work_metric(self):
+        sweep = Sweep("n")
+        sweep.run([1], lambda n: (lambda: GLOBAL_COUNTERS.count("index_probe", 2)))
+        assert sweep.series("work") == [2.0]
+
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, 2.5], [10, 0.000001]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "b" in lines[0]
+
+    def test_report_includes_title_and_rows(self):
+        sweep = Sweep("n")
+        sweep.run([5], lambda n: (lambda: None))
+        text = report("E0 smoke", "n", sweep)
+        assert "E0 smoke" in text
+        assert "µs/append" in text
+
+    def test_report_extra_columns(self):
+        sweep = Sweep("n")
+        sweep.run([5], lambda n: (lambda: None))
+        text = report("t", "n", sweep, extra_columns={"fit": ["constant"]})
+        assert "constant" in text

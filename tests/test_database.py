@@ -1,0 +1,183 @@
+"""End-to-end tests for the ChronicleDatabase façade (Definition 2.1)."""
+
+import pytest
+
+from repro.aggregates import SUM, spec
+from repro.algebra.ast import scan
+from repro.core.database import ChronicleDatabase
+from repro.errors import (
+    ChronicleGroupError,
+    RetentionError,
+    RetroactiveUpdateError,
+    ViewRegistrationError,
+)
+from repro.sca.summarize import GroupBySummary
+from repro.views.calendar import monthly
+
+
+@pytest.fixture
+def db():
+    database = ChronicleDatabase()
+    database.create_chronicle("calls", [("caller", "INT"), ("minutes", "INT"), ("day", "INT")])
+    database.create_relation(
+        "subscribers", [("number", "INT"), ("state", "STR")], key=["number"]
+    )
+    database.relation("subscribers").insert({"number": 1, "state": "NJ"})
+    database.relation("subscribers").insert({"number": 2, "state": "NY"})
+    return database
+
+
+class TestCatalogManagement:
+    def test_duplicate_chronicle_rejected(self, db):
+        with pytest.raises(ChronicleGroupError):
+            db.create_chronicle("calls", [("x", "INT")])
+
+    def test_duplicate_relation_rejected(self, db):
+        with pytest.raises(ChronicleGroupError):
+            db.create_relation("subscribers", [("x", "INT")])
+
+    def test_chronicle_relation_name_collision_rejected(self, db):
+        with pytest.raises(ChronicleGroupError):
+            db.create_relation("calls", [("x", "INT")])
+        with pytest.raises(ChronicleGroupError):
+            db.create_chronicle("subscribers", [("x", "INT")])
+
+    def test_missing_lookups(self, db):
+        with pytest.raises(ChronicleGroupError):
+            db.chronicle("nope")
+        with pytest.raises(ChronicleGroupError):
+            db.relation("nope")
+        with pytest.raises(ChronicleGroupError):
+            db.group("nope")
+
+    def test_explicit_groups(self):
+        db = ChronicleDatabase()
+        db.create_group("billing")
+        db.create_chronicle("calls", [("x", "INT")], group="billing")
+        assert db.chronicle("calls").group.name == "billing"
+        with pytest.raises(ChronicleGroupError):
+            db.create_group("billing")
+
+
+class TestViews:
+    def test_sql_view_lifecycle(self, db):
+        db.define_view(
+            "DEFINE VIEW usage AS SELECT caller, SUM(minutes) AS total "
+            "FROM calls GROUP BY caller"
+        )
+        db.append("calls", {"caller": 1, "minutes": 10, "day": 0})
+        db.append("calls", {"caller": 1, "minutes": 5, "day": 0})
+        assert db.view_value("usage", (1,), "total") == 15
+        assert db.query_view("usage", (2,)) is None
+
+    def test_programmatic_view(self, db):
+        calls = db.chronicle("calls")
+        summary = GroupBySummary(scan(calls), ["caller"], [spec(SUM, "minutes")])
+        db.define_view(summary, name="usage")
+        db.append("calls", {"caller": 2, "minutes": 7, "day": 0})
+        assert db.view_value("usage", (2,), "sum_minutes") == 7
+
+    def test_programmatic_view_requires_name(self, db):
+        calls = db.chronicle("calls")
+        summary = GroupBySummary(scan(calls), ["caller"], [spec(SUM, "minutes")])
+        with pytest.raises(ViewRegistrationError):
+            db.define_view(summary)
+
+    def test_view_with_relation_join(self, db):
+        db.define_view(
+            "DEFINE VIEW by_state AS SELECT state, SUM(minutes) AS total "
+            "FROM calls JOIN subscribers ON calls.caller = subscribers.number "
+            "GROUP BY state"
+        )
+        db.append("calls", {"caller": 1, "minutes": 10, "day": 0})
+        db.append("calls", {"caller": 2, "minutes": 20, "day": 0})
+        assert db.view_value("by_state", ("NJ",), "total") == 10
+        assert db.view_value("by_state", ("NY",), "total") == 20
+
+    def test_late_view_materializes_from_store(self, db):
+        db.append("calls", {"caller": 1, "minutes": 10, "day": 0})
+        db.append("calls", {"caller": 1, "minutes": 20, "day": 0})
+        db.define_view(
+            "DEFINE VIEW usage AS SELECT caller, SUM(minutes) AS total "
+            "FROM calls GROUP BY caller"
+        )
+        assert db.view_value("usage", (1,), "total") == 30
+        db.append("calls", {"caller": 1, "minutes": 5, "day": 0})
+        assert db.view_value("usage", (1,), "total") == 35
+
+    def test_drop_view(self, db):
+        view = db.define_view(
+            "DEFINE VIEW usage AS SELECT caller, SUM(minutes) AS total "
+            "FROM calls GROUP BY caller"
+        )
+        db.drop_view("usage")
+        db.append("calls", {"caller": 1, "minutes": 10, "day": 0})
+        assert view.maintenance_count == 0
+
+    def test_periodic_view(self, db):
+        views = db.define_periodic_view(
+            "monthly",
+            "DEFINE VIEW monthly AS SELECT caller, SUM(minutes) AS total "
+            "FROM calls GROUP BY caller",
+            monthly(month_length=30),
+            chronon_of=lambda row: float(row["day"]),
+        )
+        db.append("calls", {"caller": 1, "minutes": 10, "day": 5})
+        db.append("calls", {"caller": 1, "minutes": 20, "day": 45})
+        assert views[0].value((1,), "total") == 10
+        assert views[1].value((1,), "total") == 20
+        assert db.periodic_view("monthly") is views
+
+
+class TestUpdates:
+    def test_append_unknown_chronicle(self, db):
+        with pytest.raises(ChronicleGroupError):
+            db.append("nope", {"x": 1})
+
+    def test_proactive_relation_update(self, db):
+        db.append("calls", {"caller": 1, "minutes": 10, "day": 0})
+        assert db.update_relation("subscribers", (1,), state="CA")
+        assert db.relation("subscribers").lookup_key((1,))["state"] == "CA"
+
+    def test_retroactive_relation_update_rejected(self, db):
+        db.append("calls", {"caller": 1, "minutes": 10, "day": 0})
+        with pytest.raises(RetroactiveUpdateError):
+            db.relation("subscribers").update_key((1,), effective_from=0, state="CA")
+
+    def test_simultaneous_appends(self, db):
+        db.create_chronicle("texts", [("sender", "INT")])
+        stamped = db.append_simultaneous(
+            {"calls": {"caller": 1, "minutes": 1, "day": 0}, "texts": {"sender": 2}}
+        )
+        sns = {rows[0].sequence_number for rows in stamped.values()}
+        assert len(sns) == 1
+
+
+class TestQueries:
+    def test_detail_window(self, db):
+        for i in range(5):
+            db.append("calls", {"caller": 1, "minutes": i, "day": 0})
+        rows = db.detail_window("calls", 1, 3)
+        assert [r["minutes"] for r in rows] == [1, 2, 3]
+
+    def test_detail_window_respects_retention(self):
+        db = ChronicleDatabase()
+        db.create_chronicle("calls", [("m", "INT")], retention=2)
+        for i in range(10):
+            db.append("calls", {"m": i})
+        with pytest.raises(RetentionError):
+            db.detail_window("calls", 0, 5)
+
+    def test_summary_query_needs_no_chronicle(self):
+        """The paper's subsecond summary-query promise: answers come from
+        the view even when the chronicle stores nothing."""
+        db = ChronicleDatabase()
+        db.create_chronicle("calls", [("caller", "INT"), ("minutes", "INT")], retention=0)
+        db.define_view(
+            "DEFINE VIEW usage AS SELECT caller, SUM(minutes) AS total "
+            "FROM calls GROUP BY caller"
+        )
+        for i in range(200):
+            db.append("calls", {"caller": i % 3, "minutes": 1})
+        assert db.view_value("usage", (0,), "total") == 67
+        assert len(db.chronicle("calls")) == 0

@@ -1,0 +1,46 @@
+"""Smoke tests: every example script runs clean and prints its story.
+
+Examples are part of the public deliverable; these tests keep them green
+as the library evolves.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+EXPECTED_MARKERS = {
+    "quickstart.py": ("chronicle stored rows : 0", "view language"),
+    "frequent_flyer.py": ("top flyer account", "NJ-bonus"),
+    "telecom_billing.py": ("incremental == batch", "months materialized"),
+    "banking_atm.py": ("Chemical Bank", "declarative view"),
+    "stock_trading.py": ("cyclic buffer == periodic views", "shares"),
+    "sensor_monitoring.py": ("prefilter skipped", "noisiest sensor"),
+    "credit_card_fraud.py": ("checkpoint/restart", "risk view"),
+}
+
+
+def test_every_example_has_expectations():
+    names = {path.name for path in EXAMPLES}
+    assert names == set(EXPECTED_MARKERS), (
+        "examples/ and EXPECTED_MARKERS are out of sync"
+    )
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(example):
+    completed = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    for marker in EXPECTED_MARKERS[example.name]:
+        assert marker in completed.stdout, (
+            f"{example.name} output missing {marker!r}:\n{completed.stdout}"
+        )

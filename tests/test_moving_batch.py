@@ -1,0 +1,275 @@
+"""Tests for the cyclic-buffer moving windows and batch→incremental
+conversion (Sections 5.1 and 5.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregates.standard import AVG, COUNT, FIRST, MAX, MIN, SUM
+from repro.errors import AggregateError, ChronicleError
+from repro.views.batch import (
+    IncrementalTieredComputation,
+    TierSchedule,
+    batch_tiered_computation,
+)
+from repro.views.moving import KeyedMovingWindow, MovingWindowAggregate
+
+
+def naive_window_sum(values_by_bucket, width, bucket):
+    """Reference: sum over the last *width* buckets ending at *bucket*."""
+    total = 0
+    for b in range(bucket - width + 1, bucket + 1):
+        total += sum(values_by_bucket.get(b, []))
+    return total
+
+
+class TestMovingWindowAggregate:
+    def test_sum_over_window(self):
+        window = MovingWindowAggregate(SUM, width=3)
+        window.add(1)
+        window.roll()
+        window.add(2)
+        window.roll()
+        window.add(3)
+        assert window.current() == 6
+        window.roll()  # bucket with 1 leaves
+        assert window.current() == 5
+
+    def test_count(self):
+        window = MovingWindowAggregate(COUNT, width=2)
+        window.add(0)
+        window.add(0)
+        window.roll()
+        window.add(0)
+        assert window.current() == 3
+        window.roll()
+        assert window.current() == 1
+
+    def test_min_recombines(self):
+        window = MovingWindowAggregate(MIN, width=2)
+        window.add(5)
+        window.roll()
+        window.add(9)
+        assert window.current() == 5
+        window.roll()  # the 5 leaves
+        assert window.current() == 9
+
+    def test_max_recombines(self):
+        window = MovingWindowAggregate(MAX, width=3)
+        for value in (7, 3, 5):
+            window.add(value)
+            window.roll()
+        # Three add+roll cycles with width 3: the bucket holding 7 has
+        # been evicted; the live buckets hold 3, 5, and the empty current.
+        assert window.current() == 5
+
+    def test_empty_window_value(self):
+        assert MovingWindowAggregate(SUM, width=3).current() == 0
+        assert MovingWindowAggregate(MIN, width=3).current() is None
+
+    def test_roll_to_gap_smaller_than_width(self):
+        window = MovingWindowAggregate(SUM, width=5)
+        window.add(10)
+        window.roll_to(2)
+        window.add(1)
+        assert window.current() == 11
+        window.roll_to(3)  # the 10 leaves (5 buckets past)
+        assert window.current() == 1
+
+    def test_roll_to_gap_beyond_width_resets(self):
+        window = MovingWindowAggregate(SUM, width=3)
+        window.add(10)
+        window.roll_to(10)
+        assert window.current() == 0
+
+    def test_non_mergeable_rejected(self):
+        with pytest.raises(AggregateError):
+            MovingWindowAggregate(FIRST, width=3)
+
+    def test_bad_width(self):
+        with pytest.raises(AggregateError):
+            MovingWindowAggregate(SUM, width=0)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 30), st.integers(-100, 100)), min_size=1, max_size=80),
+    st.integers(1, 8),
+)
+def test_moving_sum_matches_naive(events, width):
+    """Property: the cyclic-buffer sum equals per-window recomputation.
+
+    Events are (bucket, value) with buckets sorted (chronicle order).
+    """
+    events = sorted(events, key=lambda e: e[0])
+    window = MovingWindowAggregate(SUM, width=width)
+    values_by_bucket = {}
+    current_bucket = events[0][0]
+    # Pre-position the window at the first bucket.
+    for bucket, value in events:
+        if bucket > current_bucket:
+            window.roll_to(bucket - current_bucket)
+            current_bucket = bucket
+        window.add(value)
+        values_by_bucket.setdefault(bucket, []).append(value)
+        expected = naive_window_sum(values_by_bucket, width, current_bucket)
+        assert window.current() == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 20), st.integers(-50, 50)), min_size=1, max_size=60),
+    st.integers(1, 6),
+)
+def test_moving_min_matches_naive(events, width):
+    """Property: the O(width) re-merge path (MIN) is also exact."""
+    events = sorted(events, key=lambda e: e[0])
+    window = MovingWindowAggregate(MIN, width=width)
+    values_by_bucket = {}
+    current_bucket = events[0][0]
+    for bucket, value in events:
+        if bucket > current_bucket:
+            window.roll_to(bucket - current_bucket)
+            current_bucket = bucket
+        window.add(value)
+        values_by_bucket.setdefault(bucket, []).append(value)
+        live = [
+            v
+            for b in range(current_bucket - width + 1, current_bucket + 1)
+            for v in values_by_bucket.get(b, [])
+        ]
+        assert window.current() == (min(live) if live else None)
+
+
+class TestKeyedMovingWindow:
+    def test_per_key_windows(self):
+        windows = KeyedMovingWindow(SUM, width=30)
+        windows.observe("IBM", 100, chronon=0)
+        windows.observe("ATT", 50, chronon=0)
+        windows.observe("IBM", 200, chronon=1)
+        assert windows.current("IBM") == 300
+        assert windows.current("ATT") == 50
+        assert windows.current("XYZ") == 0
+
+    def test_paper_30_day_example(self):
+        """Section 5.1: daily total of shares sold in the preceding 30
+        days, via a cyclic buffer of 30 per-day numbers."""
+        windows = KeyedMovingWindow(SUM, width=30)
+        for day in range(60):
+            windows.observe("IBM", 10, chronon=float(day))
+        # Days 30..59 are in-window: 30 days × 10 shares.
+        assert windows.current("IBM") == 300
+
+    def test_advance_without_values(self):
+        windows = KeyedMovingWindow(SUM, width=3)
+        windows.observe("A", 5, chronon=0)
+        windows.advance_to(10.0)
+        assert windows.current("A") == 0
+
+    def test_regressing_chronon_rejected(self):
+        windows = KeyedMovingWindow(SUM, width=3)
+        windows.observe("A", 5, chronon=10)
+        with pytest.raises(AggregateError):
+            windows.observe("A", 5, chronon=3)
+
+    def test_bucket_width(self):
+        windows = KeyedMovingWindow(SUM, width=2, bucket_width=10.0)
+        windows.observe("A", 1, chronon=0)
+        windows.observe("A", 2, chronon=9)    # same bucket
+        windows.observe("A", 4, chronon=10)   # next bucket
+        assert windows.current("A") == 7
+        windows.observe("A", 8, chronon=20)   # first bucket leaves
+        assert windows.current("A") == 12
+
+    def test_items_and_len(self):
+        windows = KeyedMovingWindow(SUM, width=2)
+        windows.observe("A", 1, chronon=0)
+        windows.observe("B", 2, chronon=0)
+        assert dict(windows.items()) == {"A": 1, "B": 2}
+        assert len(windows) == 2
+        assert sorted(windows.keys()) == ["A", "B"]
+
+    def test_bad_bucket_width(self):
+        with pytest.raises(AggregateError):
+            KeyedMovingWindow(SUM, width=3, bucket_width=0)
+
+
+class TestTierSchedule:
+    def schedule(self):
+        # The paper's plan: 10% over $10, 20% over $25.
+        return TierSchedule([(10.0, 0.10), (25.0, 0.20)])
+
+    def test_rates(self):
+        schedule = self.schedule()
+        assert schedule.rate_for(5.0) == 0.0
+        assert schedule.rate_for(10.0) == 0.0   # strictly exceed
+        assert schedule.rate_for(15.0) == 0.10
+        assert schedule.rate_for(30.0) == 0.20
+
+    def test_discount_and_net(self):
+        schedule = self.schedule()
+        assert schedule.discount_for(30.0) == pytest.approx(6.0)
+        assert schedule.net_for(30.0) == pytest.approx(24.0)
+
+    def test_validation(self):
+        with pytest.raises(ChronicleError):
+            TierSchedule([])
+        with pytest.raises(ChronicleError):
+            TierSchedule([(10, 0.1), (10, 0.2)])
+
+    def test_unsorted_input_sorted(self):
+        schedule = TierSchedule([(25.0, 0.20), (10.0, 0.10)])
+        assert schedule.rate_for(15.0) == 0.10
+
+
+class TestBatchIncrementalEquivalence:
+    def test_statement_equality(self):
+        schedule = TierSchedule([(10.0, 0.10), (25.0, 0.20)])
+        records = [("a", 4.0), ("b", 12.0), ("a", 9.0), ("b", 20.0), ("c", 1.0)]
+        incremental = IncrementalTieredComputation(schedule)
+        for key, amount in records:
+            incremental.observe(key, amount)
+        assert incremental.statement() == batch_tiered_computation(schedule, records)
+
+    def test_mid_period_currency(self):
+        """The incremental form answers correctly *before* period end —
+        the batch form's staleness problem (Section 5.3)."""
+        schedule = TierSchedule([(10.0, 0.10)])
+        incremental = IncrementalTieredComputation(schedule)
+        incremental.observe("a", 8.0)
+        assert incremental.rate("a") == 0.0
+        incremental.observe("a", 5.0)
+        assert incremental.rate("a") == 0.10
+        assert incremental.net("a") == pytest.approx(13.0 * 0.9)
+
+    def test_reset_starts_new_period(self):
+        schedule = TierSchedule([(10.0, 0.10)])
+        incremental = IncrementalTieredComputation(schedule)
+        incremental.observe("a", 50.0)
+        incremental.reset()
+        assert incremental.total("a") == 0.0
+        assert len(incremental) == 0
+
+    def test_records_processed(self):
+        incremental = IncrementalTieredComputation(TierSchedule([(1.0, 0.1)]))
+        for _ in range(5):
+            incremental.observe("a", 1.0)
+        assert incremental.records_processed == 5
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from("abcd"), st.integers(0, 5000)),
+        max_size=60,
+    )
+)
+def test_tiered_incremental_equals_batch_property(records):
+    """Property: incremental per-record processing gives exactly the
+    period-end batch statement, for integer-cent amounts."""
+    schedule = TierSchedule([(1000, 0.10), (2500, 0.20), (10000, 0.30)])
+    cents_records = [(key, float(amount)) for key, amount in records]
+    incremental = IncrementalTieredComputation(schedule)
+    for key, amount in cents_records:
+        incremental.observe(key, amount)
+    assert incremental.statement() == batch_tiered_computation(schedule, cents_records)

@@ -1,0 +1,155 @@
+"""The paper's own examples, end to end.
+
+Example 2.1: the frequent-flyer database — mileage chronicle, customers
+relation, persistent views for mileage balance, miles actually flown, and
+premier status.
+
+Example 2.2: NJ residents get 500 bonus miles per flight, *based on the
+address at flight time*; address changes are proactive updates, so the
+temporal join makes the bonus view maintainable without reprocessing.
+
+Section 1's cellular example: total minutes this billing month, shown at
+phone power-on — a periodic view looked up in O(1).
+"""
+
+import pytest
+
+from repro.aggregates import COUNT, SUM, spec
+from repro.algebra.ast import scan
+from repro.core.database import ChronicleDatabase
+from repro.relational.predicate import attr_eq
+from repro.sca.summarize import GroupBySummary
+from repro.views.calendar import monthly
+from repro.workloads.frequent_flyer import premier_status
+
+
+@pytest.fixture
+def airline():
+    db = ChronicleDatabase()
+    db.create_chronicle(
+        "mileage", [("acct", "INT"), ("miles", "INT"), ("source", "STR")], retention=0
+    )
+    db.create_relation(
+        "customers", [("acct", "INT"), ("name", "STR"), ("state", "STR")], key=["acct"]
+    )
+    db.relation("customers").insert({"acct": 1, "name": "alice", "state": "NJ"})
+    db.relation("customers").insert({"acct": 2, "name": "bob", "state": "NY"})
+    return db
+
+
+class TestExample21:
+    def test_three_persistent_views(self, airline):
+        db = airline
+        db.define_view(
+            "DEFINE VIEW balance AS SELECT acct, SUM(miles) AS miles "
+            "FROM mileage GROUP BY acct"
+        )
+        db.define_view(
+            "DEFINE VIEW flown AS SELECT acct, SUM(miles) AS miles "
+            "FROM mileage WHERE source = 'flight' GROUP BY acct"
+        )
+        db.append("mileage", {"acct": 1, "miles": 3000, "source": "flight"})
+        db.append("mileage", {"acct": 1, "miles": 500, "source": "promotion"})
+        db.append("mileage", {"acct": 2, "miles": 26000, "source": "flight"})
+        assert db.view_value("balance", (1,), "miles") == 3500
+        assert db.view_value("flown", (1,), "miles") == 3000
+        # Premier status derives functionally from the flown view.
+        assert premier_status(db.view_value("flown", (1,), "miles")) == "member"
+        assert premier_status(db.view_value("flown", (2,), "miles")) == "bronze"
+
+    def test_views_need_joins_and_aggregation(self, airline):
+        """Example 2.1: 'the language must allow for aggregation and joins
+        between the chronicle and the relation'."""
+        db = airline
+        view = db.define_view(
+            "DEFINE VIEW by_state AS SELECT state, SUM(miles) AS miles "
+            "FROM mileage JOIN customers ON mileage.acct = customers.acct "
+            "GROUP BY state"
+        )
+        db.append("mileage", {"acct": 1, "miles": 100, "source": "flight"})
+        db.append("mileage", {"acct": 2, "miles": 200, "source": "flight"})
+        assert db.view_value("by_state", ("NJ",), "miles") == 100
+        assert db.view_value("by_state", ("NY",), "miles") == 200
+
+
+class TestExample22:
+    def test_nj_bonus_follows_address_at_flight_time(self, airline):
+        """The temporal join: a flight qualifies for the NJ bonus only if
+        the flyer lived in NJ when the flight was recorded."""
+        db = airline
+        customers = db.relation("customers")
+        mileage = db.chronicle("mileage")
+        bonus_expr = (
+            scan(mileage)
+            .select(attr_eq("source", "flight"))
+            .keyjoin(customers, [("acct", "acct")])
+            .select(attr_eq("state", "NJ"))
+        )
+        db.define_view(
+            GroupBySummary(bonus_expr, ["acct"], [spec(COUNT, None, "bonus_flights")]),
+            name="nj_bonus",
+        )
+        # alice flies while in NJ: bonus.
+        db.append("mileage", {"acct": 1, "miles": 1000, "source": "flight"})
+        # alice moves to CA (proactive update)...
+        db.update_relation("customers", (1,), state="CA")
+        # ...and flies again: no bonus for this flight.
+        db.append("mileage", {"acct": 1, "miles": 1000, "source": "flight"})
+        assert db.view_value("nj_bonus", (1,), "bonus_flights") == 1
+        # bonus miles = 500 per qualifying flight
+        assert 500 * db.view_value("nj_bonus", (1,), "bonus_flights") == 500
+
+    def test_bob_never_qualifies(self, airline):
+        db = airline
+        customers = db.relation("customers")
+        mileage = db.chronicle("mileage")
+        bonus_expr = (
+            scan(mileage)
+            .keyjoin(customers, [("acct", "acct")])
+            .select(attr_eq("state", "NJ"))
+        )
+        db.define_view(
+            GroupBySummary(bonus_expr, ["acct"], [spec(COUNT)]), name="nj"
+        )
+        db.append("mileage", {"acct": 2, "miles": 100, "source": "flight"})
+        assert db.view_value("nj", (2,), "count") is None
+
+
+class TestSection1Cellular:
+    def test_minutes_this_billing_month_at_power_on(self):
+        """'total number of minutes of calls made in the current billing
+        month from a phone number ... displayed on the customer's phone'
+        — a monthly periodic view, answered per-key in O(1)."""
+        db = ChronicleDatabase()
+        db.create_chronicle(
+            "calls", [("caller", "INT"), ("minutes", "INT"), ("day", "INT")], retention=0
+        )
+        months = db.define_periodic_view(
+            "monthly_minutes",
+            "DEFINE VIEW monthly_minutes AS SELECT caller, SUM(minutes) AS total "
+            "FROM calls GROUP BY caller",
+            monthly(month_length=30),
+            chronon_of=lambda row: float(row["day"]),
+        )
+        # Month 0 and month 1 calls.
+        db.append("calls", {"caller": 5551234, "minutes": 10, "day": 3})
+        db.append("calls", {"caller": 5551234, "minutes": 20, "day": 29})
+        db.append("calls", {"caller": 5551234, "minutes": 7, "day": 31})
+        # Power-on during month 1: current month shows 7; previous shows 30.
+        assert months[1].value((5551234,), "total") == 7
+        assert months[0].value((5551234,), "total") == 30
+
+    def test_total_minutes_since_assignment(self):
+        """The second Section 1 query: minutes since the number was
+        assigned to the current customer — an unwindowed view, correct
+        even though the chronicle is not stored."""
+        db = ChronicleDatabase()
+        db.create_chronicle("calls", [("caller", "INT"), ("minutes", "INT")], retention=0)
+        db.define_view(
+            "DEFINE VIEW lifetime AS SELECT caller, SUM(minutes) AS total "
+            "FROM calls GROUP BY caller"
+        )
+        for i in range(1000):
+            db.append("calls", {"caller": 5551234, "minutes": 2})
+        assert db.view_value("lifetime", (5551234,), "total") == 2000
+        assert len(db.chronicle("calls")) == 0

@@ -1,0 +1,144 @@
+"""Tests for repro.relational.predicate: the Definition 4.1 fragment."""
+
+import pytest
+
+from repro.errors import AlgebraError
+from repro.relational.predicate import (
+    TRUE,
+    And,
+    Comparison,
+    Not,
+    Or,
+    attr_cmp,
+    attr_eq,
+    attrs_cmp,
+    conjunction,
+    disjunction,
+)
+from repro.relational.schema import Schema
+from repro.relational.tuples import Row
+
+
+def row(a=1, b=2, s="x"):
+    return Row(Schema.build(("a", "INT"), ("b", "INT"), ("s", "STR")), [a, b, s])
+
+
+class TestComparison:
+    @pytest.mark.parametrize(
+        "op,value,expected",
+        [("=", 1, True), ("!=", 1, False), ("<", 2, True), ("<=", 1, True),
+         (">", 0, True), (">=", 2, False)],
+    )
+    def test_constant_comparisons(self, op, value, expected):
+        assert Comparison("a", op, value).evaluate(row()) is expected
+
+    def test_attribute_comparison(self):
+        assert attrs_cmp("a", "<", "b").evaluate(row(1, 2))
+        assert not attrs_cmp("a", ">", "b").evaluate(row(1, 2))
+
+    def test_string_comparison(self):
+        assert attr_eq("s", "x").evaluate(row())
+        assert attr_cmp("s", "<", "z").evaluate(row())
+
+    def test_null_comparisons_are_false(self):
+        schema = Schema([*Schema.build(("a", "INT")).attributes], key=None)
+        nullable = Schema.build(("a", "INT"))
+        r = Row(Schema([nullable.attribute("a").renamed("a")]), [None], validate=False)
+        assert not Comparison("a", "=", 1).evaluate(r)
+        assert not Comparison("a", "!=", 1).evaluate(r)
+
+    def test_unknown_operator(self):
+        with pytest.raises(AlgebraError):
+            Comparison("a", "~", 1)
+
+    def test_attributes(self):
+        assert Comparison("a", "<", 5).attributes() == frozenset({"a"})
+        assert attrs_cmp("a", "<", "b").attributes() == frozenset({"a", "b"})
+
+    def test_flipped(self):
+        flipped = attrs_cmp("a", "<", "b").flipped()
+        assert flipped.attr == "b" and flipped.op == ">" and flipped.rhs == "a"
+
+    def test_flip_constant_comparison_fails(self):
+        with pytest.raises(AlgebraError):
+            attr_eq("a", 5).flipped()
+
+    def test_is_ca_predicate(self):
+        assert attr_eq("a", 1).is_ca_predicate()
+
+    def test_equality_and_hash(self):
+        assert attr_eq("a", 1) == attr_eq("a", 1)
+        assert len({attr_eq("a", 1), attr_eq("a", 1)}) == 1
+
+
+class TestCombinators:
+    def test_or(self):
+        predicate = Or(attr_eq("a", 99), attr_eq("b", 2))
+        assert predicate.evaluate(row())
+
+    def test_or_flattens(self):
+        nested = Or(Or(attr_eq("a", 1), attr_eq("a", 2)), attr_eq("a", 3))
+        assert len(nested.terms) == 3
+
+    def test_or_of_comparisons_is_ca(self):
+        assert Or(attr_eq("a", 1), attr_eq("b", 2)).is_ca_predicate()
+
+    def test_or_containing_and_is_not_ca(self):
+        inner = And(attr_eq("a", 1), attr_eq("b", 2))
+        assert not Or(inner, attr_eq("a", 3)).is_ca_predicate()
+
+    def test_and(self):
+        assert And(attr_eq("a", 1), attr_eq("b", 2)).evaluate(row())
+        assert not And(attr_eq("a", 1), attr_eq("b", 99)).evaluate(row())
+
+    def test_and_flattens(self):
+        nested = And(And(attr_eq("a", 1), attr_eq("b", 2)), attr_eq("s", "x"))
+        assert len(nested.terms) == 3
+
+    def test_and_is_not_ca_atomically(self):
+        assert not And(attr_eq("a", 1), attr_eq("b", 2)).is_ca_predicate()
+
+    def test_not(self):
+        assert Not(attr_eq("a", 99)).evaluate(row())
+        assert not Not(attr_eq("a", 1)).evaluate(row())
+        assert not Not(attr_eq("a", 1)).is_ca_predicate()
+
+    def test_empty_or_rejected(self):
+        with pytest.raises(AlgebraError):
+            Or()
+
+    def test_empty_and_rejected(self):
+        with pytest.raises(AlgebraError):
+            And()
+
+    def test_operator_overloads(self):
+        predicate = attr_eq("a", 1) | attr_eq("b", 9)
+        assert isinstance(predicate, Or)
+        predicate = attr_eq("a", 1) & attr_eq("b", 2)
+        assert isinstance(predicate, And)
+        assert isinstance(~attr_eq("a", 1), Not)
+
+    def test_attributes_union(self):
+        predicate = Or(attr_eq("a", 1), attrs_cmp("b", "<", "a"))
+        assert predicate.attributes() == frozenset({"a", "b"})
+
+
+class TestHelpers:
+    def test_true_predicate(self):
+        assert TRUE.evaluate(row())
+        assert TRUE.is_ca_predicate()
+        assert TRUE.attributes() == frozenset()
+
+    def test_disjunction_single_passthrough(self):
+        single = attr_eq("a", 1)
+        assert disjunction([single]) is single
+
+    def test_disjunction_many(self):
+        assert isinstance(disjunction([attr_eq("a", 1), attr_eq("a", 2)]), Or)
+
+    def test_conjunction_single_passthrough(self):
+        single = attr_eq("a", 1)
+        assert conjunction([single]) is single
+
+    def test_conjunction_many(self):
+        assert isinstance(conjunction([attr_eq("a", 1), attr_eq("b", 2)]), And)

@@ -1,0 +1,165 @@
+"""Tests for the view-definition language lexer and parser."""
+
+import pytest
+
+from repro.errors import LexError, ParseError
+from repro.query.ast import ColumnRef, ComparisonExpr, Literal, OrExpr
+from repro.query.lexer import tokenize
+from repro.query.parser import parse_select, parse_view
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select From WHERE")
+        assert [t.kind for t in tokens[:-1]] == ["KEYWORD"] * 3
+        assert [t.text for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_preserve_case(self):
+        tokens = tokenize("Flights miles_2")
+        assert [t.text for t in tokens[:-1]] == ["Flights", "miles_2"]
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.5")
+        assert [(t.kind, t.text) for t in tokens[:-1]] == [
+            ("NUMBER", "42"),
+            ("NUMBER", "3.5"),
+        ]
+
+    def test_negative_number_after_comparison(self):
+        tokens = tokenize("x < -5")
+        assert tokens[2].kind == "NUMBER" and tokens[2].text == "-5"
+
+    def test_qualified_name_not_a_float(self):
+        tokens = tokenize("flights.acct")
+        assert [(t.kind, t.text) for t in tokens[:-1]] == [
+            ("IDENT", "flights"),
+            ("SYMBOL", "."),
+            ("IDENT", "acct"),
+        ]
+
+    def test_string_literal(self):
+        tokens = tokenize("'NJ'")
+        assert tokens[0].kind == "STRING" and tokens[0].text == "NJ"
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].text == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+    def test_symbols_maximal_munch(self):
+        tokens = tokenize("<= >= != <> < >")
+        assert [t.text for t in tokens[:-1]] == ["<=", ">=", "!=", "!=", "<", ">"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT -- a comment\n x")
+        assert [t.text for t in tokens[:-1]] == ["SELECT", "x"]
+
+    def test_positions_tracked(self):
+        tokens = tokenize("a\n  bb")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+    def test_eof_token(self):
+        assert tokenize("")[0].kind == "EOF"
+
+
+class TestParser:
+    def test_simple_view(self):
+        view = parse_view(
+            "DEFINE VIEW v AS SELECT acct, SUM(miles) AS total FROM flights GROUP BY acct"
+        )
+        assert view.name == "v"
+        select = view.select
+        assert select.source == "flights"
+        assert select.items[0].column == ColumnRef(None, "acct")
+        assert select.items[1].aggregate == "SUM"
+        assert select.items[1].alias == "total"
+        assert select.group_by == (ColumnRef(None, "acct"),)
+
+    def test_count_star(self):
+        select = parse_select("SELECT COUNT(*) FROM c")
+        assert select.items[0].aggregate == "COUNT"
+        assert select.items[0].column is None
+
+    def test_join_clause(self):
+        select = parse_select(
+            "SELECT a FROM c JOIN r ON c.k = r.k AND c.j = r.j"
+        )
+        join = select.joins[0]
+        assert join.source == "r"
+        assert not join.cross
+        assert len(join.on) == 2
+
+    def test_cross_join(self):
+        select = parse_select("SELECT a FROM c CROSS JOIN r")
+        assert select.joins[0].cross
+        assert select.joins[0].on == ()
+
+    def test_multiple_joins(self):
+        select = parse_select("SELECT a FROM c JOIN r ON c.k = r.k CROSS JOIN s")
+        assert [j.source for j in select.joins] == ["r", "s"]
+
+    def test_where_or_precedence(self):
+        select = parse_select("SELECT a FROM c WHERE x = 1 OR y = 2 AND z = 3")
+        assert isinstance(select.where, OrExpr)
+        assert len(select.where.terms) == 2
+
+    def test_where_parentheses(self):
+        select = parse_select("SELECT a FROM c WHERE (x = 1 OR y = 2)")
+        assert isinstance(select.where, OrExpr)
+
+    def test_comparison_operands(self):
+        select = parse_select("SELECT a FROM c WHERE x >= 10")
+        where = select.where
+        assert isinstance(where, ComparisonExpr)
+        assert where.left == ColumnRef(None, "x")
+        assert where.op == ">="
+        assert where.right == Literal(10)
+
+    def test_string_and_float_literals(self):
+        select = parse_select("SELECT a FROM c WHERE s = 'NJ' OR f < 2.5")
+        left, right = select.where.terms
+        assert left.right == Literal("NJ")
+        assert right.right == Literal(2.5)
+
+    def test_attribute_attribute_comparison(self):
+        select = parse_select("SELECT a FROM c WHERE x < y")
+        assert select.where.right == ColumnRef(None, "y")
+
+    def test_constant_constant_comparison_rejected(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT a FROM c WHERE 1 = 2")
+
+    def test_missing_from(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT a")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_view("DEFINE VIEW v AS SELECT a FROM c extra")
+
+    def test_missing_group_by_columns(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT a FROM c GROUP BY")
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_select("SELECT a FROM\n  WHERE x = 1")
+        assert excinfo.value.line == 2
+
+    def test_qualified_columns(self):
+        select = parse_select("SELECT flights.acct FROM flights")
+        assert select.items[0].column == ColumnRef("flights", "acct")
+
+    def test_not_in_where(self):
+        select = parse_select("SELECT a FROM c WHERE NOT x = 1")
+        from repro.query.ast import NotExpr
+
+        assert isinstance(select.where, NotExpr)

@@ -1,0 +1,173 @@
+"""Tests for affected-view identification (Section 5.2)."""
+
+import pytest
+
+from repro.aggregates import COUNT, SUM, spec
+from repro.algebra.ast import scan
+from repro.core.group import ChronicleGroup
+from repro.errors import ViewRegistrationError
+from repro.relational.predicate import attr_cmp, attr_eq
+from repro.sca.summarize import GroupBySummary
+from repro.sca.view import PersistentView
+from repro.views.registry import ViewRegistry, scan_prefilters
+
+
+def build():
+    group = ChronicleGroup("g")
+    calls = group.create_chronicle("calls", [("acct", "INT"), ("mins", "INT")])
+    fees = group.create_chronicle("fees", [("acct", "INT"), ("mins", "INT")])
+    return group, calls, fees
+
+
+def view_over(calls, name, predicate=None):
+    node = scan(calls)
+    if predicate is not None:
+        node = node.select(predicate)
+    return PersistentView(name, GroupBySummary(node, ["acct"], [spec(SUM, "mins")]))
+
+
+class TestScanPrefilters:
+    def test_unfiltered_scan_has_no_prefilter(self):
+        _, calls, _ = build()
+        filters = scan_prefilters(scan(calls))
+        assert filters == {"calls": []}
+
+    def test_selection_above_scan_collected(self):
+        _, calls, _ = build()
+        filters = scan_prefilters(scan(calls).select(attr_eq("acct", 1)))
+        assert len(filters["calls"]) == 1
+
+    def test_cascaded_selections_conjoined(self):
+        _, calls, _ = build()
+        node = scan(calls).select(attr_eq("acct", 1)).select(attr_cmp("mins", ">", 5))
+        (predicate,) = scan_prefilters(node)["calls"]
+        from repro.relational.tuples import Row
+
+        good = Row(calls.schema, [0, 1, 6])
+        bad = Row(calls.schema, [0, 1, 3])
+        assert predicate.evaluate(good)
+        assert not predicate.evaluate(bad)
+
+    def test_unfiltered_scan_wins_over_filtered(self):
+        _, calls, _ = build()
+        filtered = scan(calls).select(attr_eq("acct", 1))
+        node = filtered.union(scan(calls))
+        assert scan_prefilters(node)["calls"] == []
+
+    def test_unfiltered_scan_wins_regardless_of_order(self):
+        _, calls, _ = build()
+        node = scan(calls).union(scan(calls).select(attr_eq("acct", 1)))
+        assert scan_prefilters(node)["calls"] == []
+
+    def test_selection_above_union_not_a_scan_filter(self):
+        _, calls, fees = build()
+        node = scan(calls).union(scan(fees)).select(attr_eq("acct", 1))
+        # Conservative: the selection is not directly above a scan.
+        assert scan_prefilters(node) == {"calls": [], "fees": []}
+
+
+class TestRegistryRouting:
+    def test_only_dependent_views_maintained(self):
+        group, calls, fees = build()
+        registry = ViewRegistry()
+        registry.attach(group)
+        calls_view = registry.register(view_over(calls, "calls_view"))
+        fees_view = registry.register(view_over(fees, "fees_view"))
+        group.append(calls, {"acct": 1, "mins": 5})
+        assert calls_view.maintenance_count == 1
+        assert fees_view.maintenance_count == 0
+
+    def test_prefilter_skips_unaffected_views(self):
+        group, calls, _ = build()
+        registry = ViewRegistry(prefilter=True)
+        registry.attach(group)
+        selective = registry.register(
+            view_over(calls, "acct1", attr_eq("acct", 1))
+        )
+        group.append(calls, {"acct": 2, "mins": 5})
+        assert selective.maintenance_count == 0
+        group.append(calls, {"acct": 1, "mins": 5})
+        assert selective.maintenance_count == 1
+
+    def test_prefilter_disabled_maintains_all(self):
+        group, calls, _ = build()
+        registry = ViewRegistry(prefilter=False)
+        registry.attach(group)
+        selective = registry.register(view_over(calls, "acct1", attr_eq("acct", 1)))
+        group.append(calls, {"acct": 2, "mins": 5})
+        assert selective.maintenance_count == 1  # maintained (vacuously)
+        assert selective.value((2,), "sum_mins") is None
+
+    def test_prefiltered_and_unfiltered_results_agree(self):
+        group, calls, _ = build()
+        fast = ViewRegistry(prefilter=True)
+        group2 = ChronicleGroup("g2")
+        calls2 = group2.create_chronicle("calls", [("acct", "INT"), ("mins", "INT")])
+        slow = ViewRegistry(prefilter=False)
+        fast.attach(group)
+        slow.attach(group2)
+        fast_view = fast.register(view_over(calls, "v", attr_cmp("mins", ">", 5)))
+        slow_view = slow.register(view_over(calls2, "v", attr_cmp("mins", ">", 5)))
+        import random
+
+        rng = random.Random(5)
+        for _ in range(100):
+            record = {"acct": rng.randrange(4), "mins": rng.randrange(12)}
+            group.append(calls, dict(record))
+            group2.append(calls2, dict(record))
+        assert sorted(r.values for r in fast_view) == sorted(r.values for r in slow_view)
+        assert fast_view.maintenance_count < slow_view.maintenance_count
+
+    def test_stats_tracked(self):
+        group, calls, _ = build()
+        registry = ViewRegistry()
+        registry.attach(group)
+        registry.register(view_over(calls, "v", attr_eq("acct", 1)))
+        group.append(calls, {"acct": 2, "mins": 5})
+        group.append(calls, {"acct": 1, "mins": 5})
+        stats = registry.stats
+        assert stats["events"] == 2
+        assert stats["candidate_views"] == 2
+        assert stats["maintained_views"] == 1
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self):
+        group, calls, _ = build()
+        registry = ViewRegistry()
+        registry.register(view_over(calls, "v"))
+        with pytest.raises(ViewRegistrationError):
+            registry.register(view_over(calls, "v"))
+
+    def test_lookup(self):
+        group, calls, _ = build()
+        registry = ViewRegistry()
+        view = registry.register(view_over(calls, "v"))
+        assert registry.view("v") is view
+        assert "v" in registry
+        assert len(registry) == 1
+
+    def test_lookup_missing(self):
+        with pytest.raises(ViewRegistrationError):
+            ViewRegistry().view("nope")
+
+    def test_unregister(self):
+        group, calls, _ = build()
+        registry = ViewRegistry()
+        registry.attach(group)
+        view = registry.register(view_over(calls, "v"))
+        registry.unregister("v")
+        group.append(calls, {"acct": 1, "mins": 5})
+        assert view.maintenance_count == 0
+        assert "v" not in registry
+
+    def test_unregister_missing(self):
+        with pytest.raises(ViewRegistrationError):
+            ViewRegistry().unregister("nope")
+
+    def test_views_iteration(self):
+        group, calls, _ = build()
+        registry = ViewRegistry()
+        registry.register(view_over(calls, "a"))
+        registry.register(view_over(calls, "b"))
+        assert sorted(v.name for v in registry.views()) == ["a", "b"]

@@ -1,0 +1,203 @@
+"""Tests for repro.relational.relation.Relation."""
+
+import pytest
+
+from repro.errors import IntegrityError, KeyViolationError, UnknownAttributeError
+from repro.relational.predicate import attr_cmp, attr_eq
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.tuples import Row
+
+
+def customers():
+    relation = Relation(
+        "customers",
+        Schema.build(("acct", "INT"), ("name", "STR"), ("state", "STR"), key=["acct"]),
+    )
+    relation.insert({"acct": 1, "name": "alice", "state": "NJ"})
+    relation.insert({"acct": 2, "name": "bob", "state": "NY"})
+    relation.insert({"acct": 3, "name": "carol", "state": "NJ"})
+    return relation
+
+
+class TestInsert:
+    def test_insert_mapping(self):
+        relation = customers()
+        assert len(relation) == 3
+
+    def test_insert_positional(self):
+        relation = Relation("r", Schema.build(("a", "INT"), ("b", "STR")))
+        relation.insert([1, "x"])
+        assert list(relation)[0].values == (1, "x")
+
+    def test_insert_row(self):
+        schema = Schema.build(("a", "INT"))
+        relation = Relation("r", schema)
+        relation.insert(Row(schema, [5]))
+        assert len(relation) == 1
+
+    def test_duplicate_key_rejected(self):
+        relation = customers()
+        with pytest.raises(KeyViolationError):
+            relation.insert({"acct": 1, "name": "dup", "state": "CA"})
+
+    def test_insert_many(self):
+        relation = Relation("r", Schema.build(("a", "INT")))
+        relation.insert_many([{"a": 1}, {"a": 2}])
+        assert len(relation) == 2
+
+
+class TestLookup:
+    def test_lookup_key(self):
+        assert customers().lookup_key((2,))["name"] == "bob"
+
+    def test_lookup_key_missing(self):
+        assert customers().lookup_key((99,)) is None
+
+    def test_lookup_key_without_key(self):
+        relation = Relation("r", Schema.build(("a", "INT")))
+        with pytest.raises(IntegrityError):
+            relation.lookup_key((1,))
+
+    def test_lookup_via_scan(self):
+        rows = customers().lookup(["state"], "NJ")
+        assert sorted(r["name"] for r in rows) == ["alice", "carol"]
+
+    def test_lookup_via_secondary_index(self):
+        relation = customers()
+        relation.create_index(["state"])
+        rows = relation.lookup(["state"], "NJ")
+        assert sorted(r["name"] for r in rows) == ["alice", "carol"]
+
+    def test_lookup_key_path(self):
+        rows = customers().lookup(["acct"], 3)
+        assert [r["name"] for r in rows] == ["carol"]
+
+    def test_select(self):
+        rows = customers().select(attr_cmp("acct", ">=", 2))
+        assert len(rows) == 2
+
+
+class TestDelete:
+    def test_delete_key(self):
+        relation = customers()
+        assert relation.delete_key((1,))
+        assert len(relation) == 2
+        assert relation.lookup_key((1,)) is None
+
+    def test_delete_key_missing(self):
+        assert not customers().delete_key((42,))
+
+    def test_delete_where(self):
+        relation = customers()
+        deleted = relation.delete_where(attr_eq("state", "NJ"))
+        assert deleted == 2
+        assert len(relation) == 1
+
+    def test_reinsert_after_delete(self):
+        relation = customers()
+        relation.delete_key((1,))
+        relation.insert({"acct": 1, "name": "alice2", "state": "CA"})
+        assert relation.lookup_key((1,))["name"] == "alice2"
+
+    def test_compaction_preserves_contents(self):
+        relation = Relation("r", Schema.build(("a", "INT"), key=["a"]))
+        for i in range(200):
+            relation.insert({"a": i})
+        for i in range(0, 200, 2):
+            relation.delete_key((i,))
+        assert sorted(r["a"] for r in relation) == list(range(1, 200, 2))
+        assert relation.lookup_key((151,))["a"] == 151
+
+
+class TestUpdate:
+    def test_update_key(self):
+        relation = customers()
+        assert relation.update_key((1,), state="CA")
+        assert relation.lookup_key((1,))["state"] == "CA"
+
+    def test_update_key_missing(self):
+        assert not customers().update_key((42,), state="CA")
+
+    def test_update_where(self):
+        relation = customers()
+        assert relation.update_where(attr_eq("state", "NJ"), state="DE") == 2
+        assert len(relation.lookup(["state"], "DE")) == 2
+
+    def test_update_changes_key(self):
+        relation = customers()
+        relation.update_key((1,), acct=10)
+        assert relation.lookup_key((1,)) is None
+        assert relation.lookup_key((10,))["name"] == "alice"
+
+    def test_update_to_duplicate_key_rejected(self):
+        relation = customers()
+        with pytest.raises(KeyViolationError):
+            relation.update_key((1,), acct=2)
+
+    def test_update_maintains_secondary_index(self):
+        relation = customers()
+        relation.create_index(["state"])
+        relation.update_key((1,), state="TX")
+        assert [r["name"] for r in relation.lookup(["state"], "TX")] == ["alice"]
+        assert sorted(r["name"] for r in relation.lookup(["state"], "NJ")) == ["carol"]
+
+
+class TestIndexes:
+    def test_create_index_on_existing_rows(self):
+        relation = customers()
+        relation.create_index(["name"])
+        assert relation.has_index(["name"])
+        assert relation.lookup(["name"], "bob")[0]["acct"] == 2
+
+    def test_create_index_unknown_attr(self):
+        with pytest.raises(UnknownAttributeError):
+            customers().create_index(["zzz"])
+
+    def test_create_index_idempotent(self):
+        relation = customers()
+        relation.create_index(["state"])
+        relation.create_index(["state"])
+        assert relation.has_index(["state"])
+
+    def test_ordered_index(self):
+        relation = customers()
+        relation.create_index(["acct"], ordered=True)
+        assert relation.lookup(["acct"], 2)[0]["name"] == "bob"
+
+    def test_has_unique_index_via_key(self):
+        assert customers().has_unique_index(["acct"])
+
+    def test_has_unique_index_via_secondary(self):
+        relation = customers()
+        assert not relation.has_unique_index(["name"])
+        relation.create_index(["name"], unique=True)
+        assert relation.has_unique_index(["name"])
+
+    def test_non_unique_index_not_advertised(self):
+        relation = customers()
+        relation.create_index(["state"])
+        assert not relation.has_unique_index(["state"])
+
+    def test_index_maintained_on_delete(self):
+        relation = customers()
+        relation.create_index(["state"])
+        relation.delete_key((1,))
+        assert sorted(r["name"] for r in relation.lookup(["state"], "NJ")) == ["carol"]
+
+
+class TestMisc:
+    def test_clear(self):
+        relation = customers()
+        relation.clear()
+        assert len(relation) == 0
+        relation.insert({"acct": 1, "name": "x", "state": "NJ"})
+        assert len(relation) == 1
+
+    def test_contains_row(self):
+        relation = customers()
+        row = relation.lookup_key((1,))
+        assert row in relation
+
+    def test_to_set(self):
+        assert len(customers().to_set()) == 3

@@ -1,0 +1,172 @@
+"""Tests for the full relational-algebra evaluator (the oracle/baseline)."""
+
+import pytest
+
+from repro.aggregates import AVG, COUNT, MAX, MIN, SUM, spec
+from repro.errors import SchemaError
+from repro.relational import algebra as ra
+from repro.relational.algebra import Table
+from repro.relational.predicate import TRUE, attr_cmp, attr_eq, attrs_cmp
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.tuples import Row
+from repro.relational.types import INT
+
+
+def table(schema_spec, rows):
+    schema = Schema.build(*schema_spec)
+    return Table(schema, [Row(schema, list(r)) for r in rows])
+
+
+def orders():
+    return table(
+        [("order_id", "INT"), ("cust", "INT"), ("amount", "INT")],
+        [(1, 10, 100), (2, 10, 250), (3, 20, 75), (4, 30, 75)],
+    )
+
+
+def customers():
+    return table(
+        [("cust", "INT"), ("state", "STR")],
+        [(10, "NJ"), (20, "NY"), (30, "NJ")],
+    )
+
+
+class TestTable:
+    def test_dedup_on_construction(self):
+        t = table([("a", "INT")], [(1,), (1,), (2,)])
+        assert len(t) == 2
+
+    def test_from_relation(self):
+        relation = Relation("r", Schema.build(("a", "INT")))
+        relation.insert({"a": 1})
+        assert len(Table.from_relation(relation)) == 1
+
+    def test_equality_is_set_based(self):
+        a = table([("a", "INT")], [(1,), (2,)])
+        b = table([("a", "INT")], [(2,), (1,)])
+        assert a == b
+
+
+class TestSelectProject:
+    def test_select(self):
+        result = ra.select(orders(), attr_cmp("amount", ">", 80))
+        assert sorted(r["order_id"] for r in result) == [1, 2]
+
+    def test_select_true(self):
+        assert len(ra.select(orders(), TRUE)) == 4
+
+    def test_project_dedups(self):
+        result = ra.project(orders(), ["amount"])
+        assert sorted(r["amount"] for r in result) == [75, 100, 250]
+
+    def test_project_reorders(self):
+        result = ra.project(orders(), ["amount", "cust"])
+        assert result.schema.names == ("amount", "cust")
+
+    def test_rename(self):
+        result = ra.rename(orders(), {"cust": "customer"})
+        assert "customer" in result.schema
+        assert sorted(r["customer"] for r in result) == [10, 10, 20, 30]
+
+
+class TestProductsJoins:
+    def test_product_size(self):
+        result = ra.product(orders(), customers())
+        assert len(result) == 12
+
+    def test_product_renames_clash(self):
+        result = ra.product(orders(), customers())
+        assert "r_cust" in result.schema
+
+    def test_theta_join(self):
+        combined = ra.theta_join(orders(), customers(), attrs_cmp("cust", "=", "r_cust"))
+        assert len(combined) == 4
+
+    def test_equi_join(self):
+        result = ra.equi_join(orders(), customers(), [("cust", "cust")])
+        assert len(result) == 4
+        row = next(r for r in result if r["order_id"] == 1)
+        assert row["state"] == "NJ"
+        assert "r_cust" not in result.schema  # right key projected out
+
+    def test_equi_join_keeps_right_keys_optionally(self):
+        result = ra.equi_join(
+            orders(), customers(), [("cust", "cust")], project_right_keys=False
+        )
+        assert "r_cust" in result.schema
+
+    def test_equi_join_no_pairs(self):
+        with pytest.raises(SchemaError):
+            ra.equi_join(orders(), customers(), [])
+
+    def test_equi_join_dangling_left(self):
+        extra = table([("order_id", "INT"), ("cust", "INT"), ("amount", "INT")], [(9, 99, 1)])
+        result = ra.equi_join(extra, customers(), [("cust", "cust")])
+        assert len(result) == 0
+
+
+class TestSetOperations:
+    def test_union(self):
+        a = table([("a", "INT")], [(1,), (2,)])
+        b = table([("a", "INT")], [(2,), (3,)])
+        assert sorted(r["a"] for r in ra.union(a, b)) == [1, 2, 3]
+
+    def test_union_incompatible(self):
+        a = table([("a", "INT")], [(1,)])
+        b = table([("b", "INT")], [(1,)])
+        with pytest.raises(SchemaError):
+            ra.union(a, b)
+
+    def test_difference(self):
+        a = table([("a", "INT")], [(1,), (2,), (3,)])
+        b = table([("a", "INT")], [(2,)])
+        assert sorted(r["a"] for r in ra.difference(a, b)) == [1, 3]
+
+    def test_intersection(self):
+        a = table([("a", "INT")], [(1,), (2,)])
+        b = table([("a", "INT")], [(2,), (3,)])
+        assert [r["a"] for r in ra.intersection(a, b)] == [2]
+
+
+class TestGroupBy:
+    def test_group_by_key(self):
+        result = ra.group_by(orders(), ["cust"], [spec(SUM, "amount"), spec(COUNT)])
+        by_cust = {r["cust"]: (r["sum_amount"], r["count"]) for r in result}
+        assert by_cust == {10: (350, 2), 20: (75, 1), 30: (75, 1)}
+
+    def test_global_group(self):
+        result = ra.group_by(orders(), [], [spec(SUM, "amount")])
+        assert len(result) == 1
+        assert list(result)[0]["sum_amount"] == 500
+
+    def test_global_group_over_empty_input(self):
+        empty = table([("a", "INT")], [])
+        result = ra.group_by(empty, [], [spec(COUNT), spec(MIN, "a")])
+        row = list(result)[0]
+        assert row["count"] == 0
+        assert row["min_a"] is None
+
+    def test_min_max_avg(self):
+        result = ra.group_by(
+            orders(), ["cust"], [spec(MIN, "amount"), spec(MAX, "amount"), spec(AVG, "amount")]
+        )
+        row = next(r for r in result if r["cust"] == 10)
+        assert (row["min_amount"], row["max_amount"], row["avg_amount"]) == (100, 250, 175.0)
+
+    def test_count_output_is_int_domain(self):
+        result = ra.group_by(orders(), ["cust"], [spec(COUNT)])
+        assert result.schema.attribute("count").domain is INT
+
+
+class TestExtend:
+    def test_extend_computed_column(self):
+        result = ra.extend(orders(), "double", "INT", lambda r: r["amount"] * 2)
+        assert sorted(r["double"] for r in result) == [150, 150, 200, 500]
+
+    def test_extend_preserves_sequence_marker(self):
+        schema = Schema.build(("sn", "SEQ"), ("v", "INT"))
+        chron_schema = Schema(list(schema.attributes), sequence_attribute="sn")
+        t = Table(chron_schema, [Row(chron_schema, [1, 5])])
+        extended = ra.extend(t, "w", "INT", lambda r: 0)
+        assert extended.schema.sequence_attribute == "sn"

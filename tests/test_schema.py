@@ -1,0 +1,195 @@
+"""Tests for repro.relational.schema."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateAttributeError,
+    SchemaError,
+    UnknownAttributeError,
+)
+from repro.relational.schema import Attribute, Schema
+from repro.relational.types import INT, SEQ, STR
+
+
+def make_chronicle_schema():
+    return Schema(
+        [Attribute("sn", SEQ), Attribute("acct", INT), Attribute("name", STR)],
+        sequence_attribute="sn",
+    )
+
+
+class TestConstruction:
+    def test_names_in_order(self):
+        schema = Schema.build(("a", "INT"), ("b", "STR"))
+        assert schema.names == ("a", "b")
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(DuplicateAttributeError):
+            Schema.build(("a", "INT"), ("a", "STR"))
+
+    def test_key_must_exist(self):
+        with pytest.raises(UnknownAttributeError):
+            Schema.build(("a", "INT"), key=["b"])
+
+    def test_key_duplicates_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.build(("a", "INT"), ("b", "INT"), key=["a", "a"])
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.build(("a", "INT"), key=[])
+
+    def test_sequence_attribute_must_be_seq_domain(self):
+        with pytest.raises(SchemaError):
+            Schema([Attribute("sn", INT)], sequence_attribute="sn")
+
+    def test_sequence_attribute_must_exist(self):
+        with pytest.raises(UnknownAttributeError):
+            Schema([Attribute("a", INT)], sequence_attribute="sn")
+
+    def test_is_chronicle_schema(self):
+        assert make_chronicle_schema().is_chronicle_schema
+        assert not Schema.build(("a", "INT")).is_chronicle_schema
+
+    def test_invalid_attribute_name(self):
+        with pytest.raises(SchemaError):
+            Attribute("", INT)
+
+    def test_arity(self):
+        assert make_chronicle_schema().arity == 3
+
+
+class TestLookup:
+    def test_position(self):
+        schema = make_chronicle_schema()
+        assert schema.position("acct") == 1
+
+    def test_position_unknown(self):
+        with pytest.raises(UnknownAttributeError):
+            make_chronicle_schema().position("missing")
+
+    def test_contains(self):
+        schema = make_chronicle_schema()
+        assert "sn" in schema
+        assert "missing" not in schema
+
+    def test_attribute_object(self):
+        attr = make_chronicle_schema().attribute("name")
+        assert attr.domain is STR
+
+    def test_positions_many(self):
+        schema = make_chronicle_schema()
+        assert schema.positions(["name", "sn"]) == (2, 0)
+
+
+class TestProjection:
+    def test_project_reorders(self):
+        schema = make_chronicle_schema().project(["name", "sn"])
+        assert schema.names == ("name", "sn")
+
+    def test_project_keeps_sequence_marker(self):
+        schema = make_chronicle_schema().project(["sn", "acct"])
+        assert schema.sequence_attribute == "sn"
+
+    def test_project_drops_sequence_marker(self):
+        schema = make_chronicle_schema().project(["acct"])
+        assert schema.sequence_attribute is None
+
+    def test_project_drops_key(self):
+        schema = Schema.build(("a", "INT"), ("b", "INT"), key=["a"]).project(["a"])
+        assert schema.key is None
+
+    def test_drop(self):
+        schema = make_chronicle_schema().drop(["name"])
+        assert schema.names == ("sn", "acct")
+
+
+class TestRename:
+    def test_rename_attribute(self):
+        schema = make_chronicle_schema().rename({"acct": "account"})
+        assert schema.names == ("sn", "account", "name")
+
+    def test_rename_sequence_attribute(self):
+        schema = make_chronicle_schema().rename({"sn": "seq"})
+        assert schema.sequence_attribute == "seq"
+
+    def test_rename_key(self):
+        schema = Schema.build(("a", "INT"), key=["a"]).rename({"a": "b"})
+        assert schema.key == ("b",)
+
+
+class TestConcat:
+    def test_concat_disjoint(self):
+        left = Schema.build(("a", "INT"))
+        right = Schema.build(("b", "STR"))
+        assert left.concat(right).names == ("a", "b")
+
+    def test_concat_renames_clash(self):
+        left = Schema.build(("a", "INT"), ("b", "INT"))
+        right = Schema.build(("b", "STR"), ("c", "STR"))
+        assert left.concat(right).names == ("a", "b", "r_b", "c")
+
+    def test_concat_names_double_clash(self):
+        left = Schema.build(("b", "INT"), ("r_b", "INT"))
+        right = Schema.build(("b", "STR"))
+        assert left.concat_names(right) == ["r2_b"]
+
+    def test_concat_keeps_left_sequence(self):
+        left = make_chronicle_schema()
+        right = Schema.build(("x", "INT"))
+        assert left.concat(right).sequence_attribute == "sn"
+
+
+class TestCompatibility:
+    def test_compatible(self):
+        a = Schema.build(("x", "INT"), ("y", "STR"))
+        b = Schema.build(("x", "INT"), ("y", "STR"))
+        assert a.compatible_with(b)
+
+    def test_incompatible_names(self):
+        a = Schema.build(("x", "INT"))
+        b = Schema.build(("y", "INT"))
+        assert not a.compatible_with(b)
+
+    def test_incompatible_domains(self):
+        a = Schema.build(("x", "INT"))
+        b = Schema.build(("x", "STR"))
+        assert not a.compatible_with(b)
+
+    def test_incompatible_arity(self):
+        a = Schema.build(("x", "INT"))
+        b = Schema.build(("x", "INT"), ("y", "INT"))
+        assert not a.compatible_with(b)
+
+    def test_require_compatible_raises(self):
+        a = Schema.build(("x", "INT"))
+        b = Schema.build(("y", "INT"))
+        with pytest.raises(SchemaError):
+            a.require_compatible(b, "union")
+
+
+class TestCheckValues:
+    def test_valid_values(self):
+        schema = Schema.build(("a", "INT"), ("b", "STR"))
+        assert schema.check_values([1, "x"]) == (1, "x")
+
+    def test_wrong_arity(self):
+        schema = Schema.build(("a", "INT"))
+        with pytest.raises(SchemaError):
+            schema.check_values([1, 2])
+
+    def test_wrong_type(self):
+        schema = Schema.build(("a", "INT"))
+        with pytest.raises(SchemaError):
+            schema.check_values(["nope"])
+
+
+class TestEquality:
+    def test_equal_schemas(self):
+        assert Schema.build(("a", "INT")) == Schema.build(("a", "INT"))
+
+    def test_key_matters(self):
+        assert Schema.build(("a", "INT"), key=["a"]) != Schema.build(("a", "INT"))
+
+    def test_hashable(self):
+        assert len({Schema.build(("a", "INT")), Schema.build(("a", "INT"))}) == 1

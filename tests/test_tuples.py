@@ -1,0 +1,119 @@
+"""Tests for repro.relational.tuples.Row."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownAttributeError
+from repro.relational.schema import Attribute, Schema
+from repro.relational.tuples import Row
+from repro.relational.types import INT, SEQ, STR
+
+
+def schema():
+    return Schema.build(("a", "INT"), ("b", "STR"))
+
+
+def chronicle_schema():
+    return Schema(
+        [Attribute("sn", SEQ), Attribute("v", INT)], sequence_attribute="sn"
+    )
+
+
+class TestConstruction:
+    def test_positional(self):
+        row = Row(schema(), [1, "x"])
+        assert row["a"] == 1
+        assert row["b"] == "x"
+
+    def test_from_mapping(self):
+        row = Row.from_mapping(schema(), {"b": "y", "a": 2})
+        assert row.values == (2, "y")
+
+    def test_from_mapping_missing(self):
+        with pytest.raises(SchemaError):
+            Row.from_mapping(schema(), {"a": 1})
+
+    def test_from_mapping_extra(self):
+        with pytest.raises(UnknownAttributeError):
+            Row.from_mapping(schema(), {"a": 1, "b": "x", "c": 3})
+
+    def test_validation(self):
+        with pytest.raises(SchemaError):
+            Row(schema(), ["not-int", "x"])
+
+    def test_skip_validation(self):
+        row = Row(schema(), ("anything", "goes"), validate=False)
+        assert row.values == ("anything", "goes")
+
+
+class TestAccess:
+    def test_getitem_unknown(self):
+        with pytest.raises(UnknownAttributeError):
+            Row(schema(), [1, "x"])["c"]
+
+    def test_get_with_default(self):
+        row = Row(schema(), [1, "x"])
+        assert row.get("a") == 1
+        assert row.get("zzz", 9) == 9
+
+    def test_at(self):
+        assert Row(schema(), [1, "x"]).at(1) == "x"
+
+    def test_as_dict(self):
+        assert Row(schema(), [1, "x"]).as_dict() == {"a": 1, "b": "x"}
+
+    def test_sequence_number(self):
+        row = Row(chronicle_schema(), [7, 42])
+        assert row.sequence_number == 7
+
+    def test_sequence_number_without_seq(self):
+        with pytest.raises(SchemaError):
+            Row(schema(), [1, "x"]).sequence_number
+
+    def test_iteration_and_len(self):
+        row = Row(schema(), [1, "x"])
+        assert list(row) == [1, "x"]
+        assert len(row) == 2
+
+
+class TestReshaping:
+    def test_project(self):
+        row = Row(schema(), [1, "x"]).project(["b"])
+        assert row.values == ("x",)
+        assert row.schema.names == ("b",)
+
+    def test_concat(self):
+        left = Row(schema(), [1, "x"])
+        right = Row(Schema.build(("c", "INT")), [3])
+        combined_schema = schema().concat(Schema.build(("c", "INT")))
+        combined = left.concat(right, combined_schema)
+        assert combined.values == (1, "x", 3)
+
+    def test_replace(self):
+        row = Row(schema(), [1, "x"]).replace(a=9)
+        assert row.values == (9, "x")
+
+    def test_replace_validates(self):
+        with pytest.raises(SchemaError):
+            Row(schema(), [1, "x"]).replace(a="bad")
+
+    def test_rebind(self):
+        other = Schema.build(("p", "INT"), ("q", "STR"))
+        row = Row(schema(), [1, "x"]).rebind(other)
+        assert row["p"] == 1
+
+    def test_rebind_arity_mismatch(self):
+        with pytest.raises(SchemaError):
+            Row(schema(), [1, "x"]).rebind(Schema.build(("p", "INT")))
+
+
+class TestEqualityHash:
+    def test_value_equality_across_schemas(self):
+        other = Schema.build(("p", "INT"), ("q", "STR"))
+        assert Row(schema(), [1, "x"]) == Row(other, [1, "x"])
+
+    def test_inequality(self):
+        assert Row(schema(), [1, "x"]) != Row(schema(), [2, "x"])
+
+    def test_set_semantics(self):
+        rows = {Row(schema(), [1, "x"]), Row(schema(), [1, "x"])}
+        assert len(rows) == 1

@@ -1,0 +1,113 @@
+"""Tests for repro.relational.types: domains, coercion, NULL handling."""
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.relational.types import (
+    BOOL,
+    FLOAT,
+    INT,
+    SEQ,
+    STR,
+    check_value,
+    common_domain,
+    domain_by_name,
+    resolve_domain,
+)
+
+
+class TestMembership:
+    def test_int_contains_int(self):
+        assert INT.contains(5)
+
+    def test_int_excludes_bool(self):
+        assert not INT.contains(True)
+
+    def test_int_excludes_float(self):
+        assert not INT.contains(5.0)
+
+    def test_float_contains_float_and_int(self):
+        assert FLOAT.contains(2.5)
+        assert FLOAT.contains(2)
+
+    def test_float_excludes_bool(self):
+        assert not FLOAT.contains(True)
+
+    def test_str_contains_str(self):
+        assert STR.contains("abc")
+        assert not STR.contains(1)
+
+    def test_bool_contains_bool_only(self):
+        assert BOOL.contains(True)
+        assert not BOOL.contains(1)
+
+    def test_seq_contains_int(self):
+        assert SEQ.contains(42)
+        assert not SEQ.contains(4.2)
+
+
+class TestCoercion:
+    def test_identity_coercion(self):
+        assert INT.coerce(3) == 3
+
+    def test_float_admits_int_values(self):
+        # FLOAT is the numeric domain: ints pass through unchanged so
+        # integer aggregates stay exact in FLOAT-typed view columns.
+        value = FLOAT.coerce(3)
+        assert value == 3
+        assert isinstance(value, int)
+
+    def test_str_to_int_fails(self):
+        with pytest.raises(TypeMismatchError):
+            INT.coerce("3")
+
+    def test_float_to_int_fails(self):
+        with pytest.raises(TypeMismatchError):
+            INT.coerce(3.5)
+
+    def test_bool_to_int_fails(self):
+        with pytest.raises(TypeMismatchError):
+            INT.coerce(True)
+
+
+class TestNullHandling:
+    def test_null_allowed_when_nullable(self):
+        assert check_value(INT, None, nullable=True) is None
+
+    def test_null_rejected_when_not_nullable(self):
+        with pytest.raises(TypeMismatchError):
+            check_value(INT, None, nullable=False)
+
+    def test_non_null_value_coerced(self):
+        assert check_value(FLOAT, 2, nullable=True) == 2.0
+
+
+class TestLookup:
+    def test_domain_by_name(self):
+        assert domain_by_name("int") is INT
+        assert domain_by_name("SEQ") is SEQ
+
+    def test_unknown_name(self):
+        with pytest.raises(TypeMismatchError):
+            domain_by_name("DECIMAL")
+
+    def test_resolve_domain_passthrough(self):
+        assert resolve_domain(STR) is STR
+        assert resolve_domain("str") is STR
+
+    def test_resolve_domain_bad_input(self):
+        with pytest.raises(TypeMismatchError):
+            resolve_domain(42)
+
+
+class TestCommonDomain:
+    def test_same_domain(self):
+        assert common_domain(INT, INT) is INT
+
+    def test_numeric_mix(self):
+        assert common_domain(INT, FLOAT) is FLOAT
+        assert common_domain(SEQ, INT) is INT
+
+    def test_incomparable(self):
+        assert common_domain(INT, STR) is None
+        assert common_domain(BOOL, INT) is None

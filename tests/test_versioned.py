@@ -1,0 +1,148 @@
+"""Tests for VersionedRelation: the proactive-update rule (Section 2.3)."""
+
+import pytest
+
+from repro.errors import RetroactiveUpdateError
+from repro.relational.predicate import attr_eq
+from repro.relational.schema import Schema
+from repro.relational.versioned import VersionedRelation
+
+
+class FakeWatermark:
+    """A controllable group watermark."""
+
+    def __init__(self) -> None:
+        self.value = -1
+
+    def __call__(self) -> int:
+        return self.value
+
+
+def make(keep_history=True):
+    watermark = FakeWatermark()
+    relation = VersionedRelation(
+        "customers",
+        Schema.build(("acct", "INT"), ("state", "STR"), key=["acct"]),
+        watermark=watermark,
+        keep_history=keep_history,
+    )
+    return relation, watermark
+
+
+class TestProactivity:
+    def test_default_updates_are_proactive(self):
+        relation, watermark = make()
+        relation.insert({"acct": 1, "state": "NJ"})
+        watermark.value = 10
+        assert relation.update_key((1,), state="NY")
+        assert relation.lookup_key((1,))["state"] == "NY"
+
+    def test_retroactive_update_rejected(self):
+        relation, watermark = make()
+        relation.insert({"acct": 1, "state": "NJ"})
+        watermark.value = 10
+        with pytest.raises(RetroactiveUpdateError):
+            relation.update_key((1,), effective_from=5, state="NY")
+
+    def test_retroactive_insert_rejected(self):
+        relation, watermark = make()
+        watermark.value = 3
+        with pytest.raises(RetroactiveUpdateError):
+            relation.insert({"acct": 1, "state": "NJ"}, effective_from=2)
+
+    def test_explicit_future_effective_allowed(self):
+        relation, watermark = make()
+        watermark.value = 3
+        relation.insert({"acct": 1, "state": "NJ"}, effective_from=10)
+        assert len(relation) == 1
+
+    def test_retroactive_delete_rejected(self):
+        relation, watermark = make()
+        relation.insert({"acct": 1, "state": "NJ"})
+        watermark.value = 7
+        with pytest.raises(RetroactiveUpdateError):
+            relation.delete_key((1,), effective_from=1)
+
+    def test_effective_at_watermark_is_retroactive(self):
+        relation, watermark = make()
+        relation.insert({"acct": 1, "state": "NJ"})
+        watermark.value = 5
+        with pytest.raises(RetroactiveUpdateError):
+            relation.update_key((1,), effective_from=5, state="NY")
+
+
+class TestAsOf:
+    def test_as_of_reconstructs_past_version(self):
+        relation, watermark = make()
+        relation.insert({"acct": 1, "state": "NJ"})  # effective 0
+        watermark.value = 4
+        relation.update_key((1,), state="NY")  # effective 5
+        old = relation.as_of(3)
+        assert old.lookup_key((1,))["state"] == "NJ"
+        new = relation.as_of(5)
+        assert new.lookup_key((1,))["state"] == "NY"
+
+    def test_as_of_before_insert_is_empty(self):
+        relation, watermark = make()
+        watermark.value = 2
+        relation.insert({"acct": 1, "state": "NJ"})  # effective 3
+        assert len(relation.as_of(2)) == 0
+
+    def test_as_of_after_delete(self):
+        relation, watermark = make()
+        relation.insert({"acct": 1, "state": "NJ"})
+        watermark.value = 9
+        relation.delete_key((1,))  # effective 10
+        assert len(relation.as_of(9)) == 1
+        assert len(relation.as_of(10)) == 0
+
+    def test_as_of_requires_history(self):
+        relation, watermark = make(keep_history=False)
+        relation.insert({"acct": 1, "state": "NJ"})
+        with pytest.raises(RetroactiveUpdateError):
+            relation.as_of(0)
+
+    def test_version_for_current_is_not_a_copy(self):
+        relation, watermark = make()
+        relation.insert({"acct": 1, "state": "NJ"})
+        watermark.value = 5
+        assert relation.version_for(100) is relation.current
+
+    def test_version_for_past_reconstructs(self):
+        relation, watermark = make()
+        relation.insert({"acct": 1, "state": "NJ"})  # effective 0
+        watermark.value = 4
+        relation.update_key((1,), state="NY")  # effective 5
+        assert relation.version_for(2).lookup_key((1,))["state"] == "NJ"
+
+    def test_update_where_logged(self):
+        relation, watermark = make()
+        relation.insert({"acct": 1, "state": "NJ"})
+        relation.insert({"acct": 2, "state": "NJ"})
+        watermark.value = 7
+        relation.update_where(attr_eq("state", "NJ"), state="PA")  # effective 8
+        past = relation.as_of(7)
+        assert sorted(r["state"] for r in past) == ["NJ", "NJ"]
+        assert sorted(r["state"] for r in relation.as_of(8)) == ["PA", "PA"]
+
+
+class TestPassthrough:
+    def test_reads(self):
+        relation, _ = make()
+        relation.insert({"acct": 1, "state": "NJ"})
+        assert len(relation) == 1
+        assert relation.lookup_key((1,))["acct"] == 1
+        assert relation.lookup(["state"], "NJ")[0]["acct"] == 1
+        assert len(list(iter(relation))) == 1
+
+    def test_unique_index_passthrough(self):
+        relation, _ = make()
+        relation.create_index(["state"], unique=True)
+        assert relation.has_unique_index(["state"])
+
+    def test_bind_watermark(self):
+        relation, _ = make()
+        relation.insert({"acct": 1, "state": "NJ"})
+        relation.bind_watermark(lambda: 99)
+        with pytest.raises(RetroactiveUpdateError):
+            relation.update_key((1,), effective_from=50, state="NY")

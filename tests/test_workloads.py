@@ -1,0 +1,135 @@
+"""Tests for the synthetic workload generators: determinism, schema
+conformance, and distribution sanity."""
+
+import pytest
+
+from repro.core.group import ChronicleGroup
+from repro.workloads import (
+    BankingWorkload,
+    CreditCardWorkload,
+    FrequentFlyerWorkload,
+    SensorWorkload,
+    StockWorkload,
+    TelecomWorkload,
+    ZipfChooser,
+    premier_status,
+)
+
+ALL_WORKLOADS = (
+    TelecomWorkload,
+    BankingWorkload,
+    CreditCardWorkload,
+    FrequentFlyerWorkload,
+    StockWorkload,
+    SensorWorkload,
+)
+
+
+@pytest.mark.parametrize("workload_cls", ALL_WORKLOADS)
+class TestAllWorkloads:
+    def test_deterministic_given_seed(self, workload_cls):
+        a = list(workload_cls(seed=5).records(50))
+        b = list(workload_cls(seed=5).records(50))
+        assert a == b
+
+    def test_seed_changes_stream(self, workload_cls):
+        a = list(workload_cls(seed=5).records(50))
+        b = list(workload_cls(seed=6).records(50))
+        assert a != b
+
+    def test_records_conform_to_schema(self, workload_cls):
+        workload = workload_cls()
+        group = ChronicleGroup("g")
+        chronicle = group.create_chronicle(
+            workload.NAME, workload.chronicle_spec(), retention=0
+        )
+        # Appending validates every record against the declared schema.
+        for record in workload.records(100):
+            group.append(chronicle, record)
+        assert chronicle.appended_count == 100
+
+    def test_records_start_offset(self, workload_cls):
+        workload = workload_cls(seed=5)
+        shifted = list(workload.records(5, start=100))
+        assert len(shifted) == 5
+
+
+class TestZipfChooser:
+    def test_skew_toward_head(self):
+        import random
+
+        chooser = ZipfChooser(100, s=1.2, rng=random.Random(1))
+        draws = [chooser.choose() for _ in range(3000)]
+        head = sum(1 for d in draws if d < 10)
+        assert head > len(draws) * 0.4  # top-10% gets >40% of traffic
+
+    def test_range(self):
+        import random
+
+        chooser = ZipfChooser(10, rng=random.Random(2))
+        assert all(0 <= chooser.choose() < 10 for _ in range(500))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfChooser(0)
+
+
+class TestDomainDetails:
+    def test_telecom_days_monotone(self):
+        workload = TelecomWorkload(calls_per_day=10)
+        days = [r["day"] for r in workload.records(50)]
+        assert days == sorted(days)
+        assert days[-1] == 4
+
+    def test_telecom_charges_positive(self):
+        assert all(r["cents"] > 0 for r in TelecomWorkload().records(200))
+
+    def test_telecom_subscriber_relation(self):
+        workload = TelecomWorkload(subscribers=20)
+        rows = workload.subscriber_rows()
+        assert len(rows) == 20
+        assert {r["number"] for r in rows} == set(range(5_550_000, 5_550_020))
+
+    def test_banking_kinds_signed_correctly(self):
+        for record in BankingWorkload().records(300):
+            if record["kind"] == "deposit":
+                assert record["cents"] > 0
+            else:
+                assert record["cents"] < 0
+
+    def test_banking_accounts_relation(self):
+        rows = BankingWorkload(accounts=5).account_rows()
+        assert len(rows) == 5
+
+    def test_credit_card_cash_advance_rare(self):
+        records = list(CreditCardWorkload(seed=1).records(2000))
+        advances = sum(1 for r in records if r["category"] == "cash_advance")
+        assert 0 < advances < 120
+
+    def test_frequent_flyer_sources(self):
+        records = list(FrequentFlyerWorkload().records(500))
+        assert {r["source"] for r in records} <= {"flight", "partner", "promotion"}
+        flights = [r for r in records if r["source"] == "flight"]
+        assert all(100 <= r["miles"] <= 5000 for r in flights)
+
+    def test_premier_status_thresholds(self):
+        assert premier_status(0) == "member"
+        assert premier_status(25_000) == "bronze"
+        assert premier_status(60_000) == "silver"
+        assert premier_status(150_000) == "gold"
+
+    def test_stock_prices_positive_and_walk(self):
+        records = list(StockWorkload().records(1000))
+        assert all(r["price_cents"] >= 100 for r in records)
+        assert all(r["shares"] % 100 == 0 for r in records)
+
+    def test_sensor_spikes_flagged(self):
+        records = list(SensorWorkload(seed=2, spike_probability=0.05).records(2000))
+        spikes = [r for r in records if r["status"] == "spike"]
+        assert spikes  # some spikes occurred
+        assert len(spikes) < 300
+
+    def test_sensor_relation_rows(self):
+        rows = SensorWorkload(sensors=8).sensor_rows()
+        assert len(rows) == 8
+        assert all(r["zone"] == 0 for r in rows)
