@@ -1,0 +1,82 @@
+"""Persist E12 throughput numbers and flag regressions across runs.
+
+Runs the E12 measurement (compiled plans vs tree interpreter, see
+``bench_e12_compiled_plans.py``) and writes the results to
+``BENCH_e12.json`` at the repository root, so future changes have a
+recorded perf trajectory to compare against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py
+
+Exit status 1 when the compiled engine fails the 1.5x acceptance bar or
+drops more than ``TOLERANCE`` below the best previously recorded run
+(absolute appends/sec are machine-dependent; the file stores a history,
+and the regression check compares against the best entry).
+"""
+
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from bench_e12_compiled_plans import MODES, run_measurements  # noqa: E402
+
+RESULTS_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_e12.json"
+)
+SPEEDUP_BAR = 1.5  # acceptance: compiled >= 1.5x interpreted
+TOLERANCE = 0.7  # regression: compiled speedup < 70% of best recorded
+
+
+def load_history():
+    if not os.path.exists(RESULTS_PATH):
+        return {"experiment": "E12 compiled maintenance plans", "runs": []}
+    with open(RESULTS_PATH) as handle:
+        return json.load(handle)
+
+
+def main() -> int:
+    results = run_measurements()
+    speedups = {mode: results[mode] / results["interpreted"] for mode in MODES}
+    history = load_history()
+    previous_best = max(
+        (run["speedups"]["compiled"] for run in history["runs"]), default=None
+    )
+    history["runs"].append(
+        {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "appends_per_sec": {m: round(results[m], 1) for m in MODES},
+            "speedups": {m: round(speedups[m], 3) for m in MODES},
+        }
+    )
+    with open(RESULTS_PATH, "w") as handle:
+        json.dump(history, handle, indent=2)
+        handle.write("\n")
+
+    for mode in MODES:
+        print(f"{mode:>12}: {results[mode]:>10,.0f} appends/s  ({speedups[mode]:.2f}x)")
+    print(f"results appended to {RESULTS_PATH}")
+
+    failed = False
+    if speedups["compiled"] < SPEEDUP_BAR:
+        print(
+            f"REGRESSION: compiled speedup {speedups['compiled']:.2f}x is below "
+            f"the {SPEEDUP_BAR}x acceptance bar"
+        )
+        failed = True
+    if previous_best is not None and speedups["compiled"] < TOLERANCE * previous_best:
+        print(
+            f"REGRESSION: compiled speedup {speedups['compiled']:.2f}x is below "
+            f"{TOLERANCE:.0%} of the best recorded {previous_best:.2f}x"
+        )
+        failed = True
+    if not failed:
+        print("ok: no regression")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

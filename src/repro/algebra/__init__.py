@@ -18,6 +18,7 @@ from .ast import (
 from .classify import Classification, IMClass, Language, classify, im_class_of, language_of
 from .delta_engine import propagate
 from .evaluate import evaluate
+from .plan import CompiledPlan, Interner, PlanCompiler, compile_predicate
 from .validate import validate_ca, validate_ca1, validate_ca_join
 
 __all__ = [
@@ -36,6 +37,10 @@ __all__ = [
     "scan",
     "propagate",
     "evaluate",
+    "CompiledPlan",
+    "Interner",
+    "PlanCompiler",
+    "compile_predicate",
     "classify",
     "language_of",
     "im_class_of",

@@ -85,6 +85,7 @@ def propagate(
     if cache is not None:
         memo = cache.get(id(node))
         if memo is not None:
+            GLOBAL_COUNTERS.count("delta_cache_hit")
             return memo
     handler = _HANDLERS.get(type(node))
     if handler is None:

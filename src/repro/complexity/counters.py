@@ -12,7 +12,11 @@ on a laptop is noisy at these scales, so alongside timing we count the
 * ``chronicle_read``— one tuple read from a chronicle store (must be 0
   during incremental maintenance — the no-access rule);
 * ``view_read``     — one tuple read back from a materialized view other
-  than the O(log |V|) locate step.
+  than the O(log |V|) locate step;
+* ``plan_compile``  — one maintenance plan compiled (registration-time
+  work, never on the append path);
+* ``delta_cache_hit`` — one subexpression delta served from the per-event
+  cache instead of being recomputed (the benefit of cross-view sharing).
 
 A single process-wide :data:`GLOBAL_COUNTERS` instance is threaded through
 the storage and maintenance layers; benchmarks snapshot and diff it.
@@ -34,6 +38,8 @@ class CostCounters:
         "chronicle_read",
         "view_read",
         "aggregate_step",
+        "plan_compile",
+        "delta_cache_hit",
     )
 
     __slots__ = ("counts", "enabled")

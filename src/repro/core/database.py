@@ -56,6 +56,11 @@ class ChronicleDatabase:
     ----------
     prefilter_views:
         Enable the Section 5.2 affected-view prefilter in the registry.
+    compile_views:
+        Maintain views through compiled plans (structural interning +
+        fused delta pipelines, see :mod:`repro.algebra.plan`) — the
+        default.  Pass ``False`` to fall back to the tree-walking
+        interpreter, e.g. to compare the two engines.
     aggregates:
         Aggregate registry for the view language; defaults to a fresh
         copy of the standard registry.
@@ -64,11 +69,12 @@ class ChronicleDatabase:
     def __init__(
         self,
         prefilter_views: bool = True,
+        compile_views: bool = True,
         aggregates: Optional[AggregateRegistry] = None,
     ) -> None:
         self.groups: Dict[str, ChronicleGroup] = {}
         self.relations: Dict[str, VersionedRelation] = {}
-        self.registry = ViewRegistry(prefilter=prefilter_views)
+        self.registry = ViewRegistry(prefilter=prefilter_views, compile=compile_views)
         self.aggregates = aggregates if aggregates is not None else default_registry()
         self._chronicle_group: Dict[str, str] = {}  # chronicle name -> group name
 

@@ -153,11 +153,12 @@ class ChronicleGroup:
         issued (or validated externally supplied) sequence number.
         Returns the stamped rows after notifying listeners.
         """
+        resolved = self._resolve(chronicle)
         return self.append_simultaneous(
-            {self._resolve(chronicle): records},
+            {resolved: records},
             sequence_number=sequence_number,
             instant=instant,
-        )[self._resolve(chronicle).name]
+        )[resolved.name]
 
     def append_simultaneous(
         self,
@@ -182,17 +183,20 @@ class ChronicleGroup:
             self.chronons.record(stamp, instant)
         stamped: Dict[str, Tuple[Row, ...]] = {}
         for chronicle, records in resolved.items():
-            rows = tuple(chronicle._admit(record, stamp) for record in records)
+            admitted = chronicle._admit_batch(records, stamp)
             # Records in one batch share the sequence number, so identical
             # records are the same tuple: set semantics dedups them here,
             # keeping storage consistent with the (deduplicating) deltas.
-            seen = set()
-            unique = []
-            for row in rows:
-                if row.values not in seen:
-                    seen.add(row.values)
-                    unique.append(row)
-            rows = tuple(unique)
+            if len(admitted) == 1:
+                rows = tuple(admitted)
+            else:
+                seen = set()
+                unique = []
+                for row in admitted:
+                    if row.values not in seen:
+                        seen.add(row.values)
+                        unique.append(row)
+                rows = tuple(unique)
             chronicle._store(rows)
             stamped[chronicle.name] = rows
         event = {name: rows for name, rows in stamped.items() if rows}

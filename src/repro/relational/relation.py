@@ -50,7 +50,16 @@ class Relation:
         hash index over it is created automatically.
     """
 
-    __slots__ = ("name", "schema", "_slots", "_count", "_key_index", "_indexes", "_tombstones")
+    __slots__ = (
+        "name",
+        "schema",
+        "_slots",
+        "_count",
+        "_key_index",
+        "_key_positions",
+        "_indexes",
+        "_tombstones",
+    )
 
     def __init__(self, name: str, schema: Schema) -> None:
         self.name = name
@@ -60,15 +69,18 @@ class Relation:
         self._tombstones = 0
         self._indexes: Dict[Tuple[str, ...], Union[HashIndex, BPlusTree]] = {}
         self._key_index: Optional[HashIndex] = None
+        self._key_positions: Optional[Tuple[int, ...]] = None
         if schema.key is not None:
             self._key_index = HashIndex(unique=True)
+            self._key_positions = schema.positions(schema.key)
 
     # -- key helpers -----------------------------------------------------------------
 
     def _key_of(self, row: Row) -> Optional[Tuple[Any, ...]]:
-        if self.schema.key is None:
+        if self._key_positions is None:
             return None
-        return tuple(row[name] for name in self.schema.key)
+        values = row.values
+        return tuple(values[p] for p in self._key_positions)
 
     def _index_key(self, attrs: Tuple[str, ...], row: Row) -> Any:
         if len(attrs) == 1:
@@ -165,6 +177,29 @@ class Relation:
         row = self._slots[slot]
         assert row is not None
         self._replace_slot(slot, row.replace(**changes))
+        return True
+
+    def replace_key(self, key: Sequence[Any], row: Row) -> bool:
+        """Replace the row stored at *key* with an already-built *row*.
+
+        The caller supplies the complete replacement row (carrying the
+        same key values).  Skips the per-attribute rebuild and
+        re-validation of :meth:`update_key` — the persistent-view fold
+        path constructs the full new row anyway, so rebuilding it from
+        keyword changes is pure overhead there.
+        """
+        if self._key_index is None:
+            raise IntegrityError(f"relation {self.name!r} has no key")
+        key = tuple(key)
+        slot = self._key_index.get(key)
+        if slot is None:
+            return False
+        if not self._indexes and self._key_of(row) == key:
+            # Key unchanged and no secondary indexes to maintain: swap the
+            # slot directly (the common case on the view fold path).
+            self._slots[slot] = row
+            return True
+        self._replace_slot(slot, row)
         return True
 
     def _replace_slot(self, slot: int, new_row: Row) -> None:

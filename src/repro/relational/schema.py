@@ -80,7 +80,7 @@ class Schema:
         The attribute must exist and must have the SEQ domain.
     """
 
-    __slots__ = ("attributes", "_index", "key", "sequence_attribute")
+    __slots__ = ("attributes", "_index", "_names", "_names_set", "key", "sequence_attribute")
 
     def __init__(
         self,
@@ -96,6 +96,8 @@ class Schema:
             index[attr.name] = pos
         self.attributes: Tuple[Attribute, ...] = tuple(attrs)
         self._index = index
+        self._names: Tuple[str, ...] = tuple(attr.name for attr in self.attributes)
+        self._names_set = frozenset(self._names)
         self.key: Optional[Tuple[str, ...]] = None
         if key is not None:
             key_names = tuple(key)
@@ -139,8 +141,13 @@ class Schema:
 
     @property
     def names(self) -> Tuple[str, ...]:
-        """Attribute names in positional order."""
-        return tuple(attr.name for attr in self.attributes)
+        """Attribute names in positional order (cached at construction)."""
+        return self._names
+
+    @property
+    def names_set(self) -> "frozenset[str]":
+        """The attribute names as a set (cached — hot admit-path lookup)."""
+        return self._names_set
 
     @property
     def is_chronicle_schema(self) -> bool:

@@ -44,7 +44,8 @@ class Row:
     @classmethod
     def from_mapping(cls, schema: Schema, mapping: Mapping[str, Any]) -> "Row":
         """Build a row from an attribute-name → value mapping."""
-        extra = set(mapping) - set(schema.names)
+        names_set = schema.names_set
+        extra = [name for name in mapping if name not in names_set]
         if extra:
             raise UnknownAttributeError(
                 f"values supplied for unknown attributes {sorted(extra)}"
@@ -54,6 +55,23 @@ class Row:
         except KeyError as exc:
             raise SchemaError(f"missing value for attribute {exc.args[0]!r}") from None
         return cls(schema, values)
+
+    @classmethod
+    def unchecked(cls, schema: Schema, values: Tuple[Any, ...]) -> "Row":
+        """Fast constructor for already-validated value tuples.
+
+        Skips argument normalization entirely: *values* must be a tuple
+        whose elements already conform to *schema* — e.g. values taken
+        from rows that went through the checked path, reshaped by
+        position.  The fused maintenance pipelines
+        (:mod:`repro.algebra.plan`) and the batched append fast path
+        (:meth:`repro.core.chronicle.Chronicle._admit_batch`) build all
+        their rows this way.
+        """
+        row = object.__new__(cls)
+        row.schema = schema
+        row.values = values
+        return row
 
     # -- access -----------------------------------------------------------------
 

@@ -56,3 +56,30 @@ def attach_view(
 
     group.subscribe(listener)
     return listener
+
+
+def attach_compiled_view(
+    view: PersistentView, group: ChronicleGroup
+) -> Callable[[ChronicleGroup, Dict[str, Tuple[Row, ...]]], None]:
+    """Subscribe a single view via a compiled plan (no registry).
+
+    The minimal compiled counterpart of :func:`attach_view` — benchmarks
+    use the pair to isolate the interpreter-vs-plan difference from the
+    registry's routing.  Multi-view cross-expression sharing needs the
+    :class:`~repro.views.registry.ViewRegistry` with ``compile=True``.
+    """
+    from ..algebra.plan import PlanCompiler
+    from ..core.chronicle import maintenance_guard
+
+    compiler = PlanCompiler()
+    plan = compiler.compile(compiler.add_root(view.expression))
+
+    def listener(event_group: ChronicleGroup, event: Dict[str, Tuple[Row, ...]]) -> None:
+        deltas = event_deltas(event_group, event)
+        if deltas:
+            with maintenance_guard():
+                delta = plan(deltas)
+            view.apply_delta(delta)
+
+    group.subscribe(listener)
+    return listener

@@ -144,6 +144,12 @@ class GroupBySummary(Summary):
         attrs = [expression.schema.attribute(n) for n in grouping]
         attrs += [aggregate_attribute(expression.schema, a) for a in aggregates]
         self.output_schema = Schema(attrs, key=list(grouping) if grouping else None)
+        # Aggregate-argument positions in the χ schema (None for COUNT(*)),
+        # so the per-row maintenance step indexes instead of name-lookups.
+        self._arg_positions: Tuple[Optional[int], ...] = tuple(
+            None if a.attribute is None else expression.schema.position(a.attribute)
+            for a in self.aggregates
+        )
         # HAVING: a visibility filter over the summary's output rows.  It
         # does not affect maintenance (every group's state is kept — a
         # group may enter/leave the HAVING set as it accumulates); only
@@ -167,9 +173,10 @@ class GroupBySummary(Summary):
 
     def step_states(self, states: List[Any], row: Row) -> List[Any]:
         """Fold one χ-delta row into the group's accumulators (O(1) each)."""
+        values = row.values
         return [
-            a.function.step(state, a.argument(row))
-            for a, state in zip(self.aggregates, states)
+            a.function.step(state, 1 if p is None else values[p])
+            for a, state, p in zip(self.aggregates, states, self._arg_positions)
         ]
 
     def merge_states(self, left: List[Any], right: List[Any]) -> List[Any]:

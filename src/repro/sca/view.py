@@ -133,6 +133,19 @@ class PersistentView:
         self._maintenance_count += 1
         return folded
 
+    def apply_delta(self, delta: Delta) -> int:
+        """Fold one precomputed χ-delta into the view; returns rows folded.
+
+        The compiled-plan path (:mod:`repro.algebra.plan`) computes the
+        χ-delta itself — once per shared subexpression per event — and
+        hands only the fold step to the view.  The fold runs under the
+        chronicle no-access guard, exactly like :meth:`apply_event`.
+        """
+        with maintenance_guard():
+            folded = self._fold(delta)
+        self._maintenance_count += 1
+        return folded
+
     def _fold(self, delta: Delta) -> int:
         if delta.is_empty:
             return 0
@@ -163,9 +176,7 @@ class PersistentView:
             if fresh.get(key):
                 self.relation.insert(row)
             elif summary.grouping:
-                self.relation.update_key(
-                    key, **dict(zip(self.relation.schema.names[len(key):], row.values[len(key):]))
-                )
+                self.relation.replace_key(key, row)
             else:
                 # Global aggregate: a single keyless row, replaced wholesale.
                 self.relation.clear()

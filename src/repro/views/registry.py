@@ -21,9 +21,11 @@ Section 5.2).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
 
 from ..algebra.ast import ChronicleScan, Node, Select
+from ..algebra.plan import CompiledPlan, PlanCompiler, compile_prefilter
+from ..core.chronicle import maintenance_guard
 from ..core.delta import Delta
 from ..core.group import ChronicleGroup
 from ..errors import ViewRegistrationError
@@ -71,16 +73,44 @@ def scan_prefilters(expression: Node) -> Dict[str, List[Predicate]]:
 
 
 class RegisteredView:
-    """Registry bookkeeping for one persistent view."""
+    """Registry bookkeeping for one persistent view.
 
-    __slots__ = ("view", "prefilters")
+    In compiled registries this also carries the view's interned
+    expression (*root*), its :class:`~repro.algebra.plan.CompiledPlan`,
+    and position-compiled prefilter tests (one per chronicle) that avoid
+    per-row attribute-name resolution on the append path.
+    """
+
+    __slots__ = ("view", "prefilters", "root", "plan", "_compiled_prefilters")
 
     def __init__(self, view: PersistentView) -> None:
         self.view = view
         self.prefilters = scan_prefilters(view.expression)
+        self.root: Optional[Node] = None
+        self.plan: Optional[CompiledPlan] = None
+        self._compiled_prefilters: Optional[
+            Dict[str, Optional[Callable[[Tuple[Row, ...]], bool]]]
+        ] = None
+
+    def compile_prefilters(self) -> None:
+        """Precompile the prefilter conjunctions against chronicle schemas."""
+        schemas = {c.name: c.schema for c in self.view.expression.chronicles()}
+        compiled: Dict[str, Optional[Callable[[Tuple[Row, ...]], bool]]] = {}
+        for name, predicates in self.prefilters.items():
+            if predicates:
+                compiled[name] = compile_prefilter(predicates, schemas[name])
+            else:
+                compiled[name] = None  # some scan of the chronicle is unfiltered
+        self._compiled_prefilters = compiled
 
     def might_be_affected(self, chronicle_name: str, rows: Tuple[Row, ...]) -> bool:
         """Cheap test: could this delta change the view?"""
+        if self._compiled_prefilters is not None:
+            try:
+                test = self._compiled_prefilters[chronicle_name]
+            except KeyError:
+                return False
+            return True if test is None else test(rows)
         if chronicle_name not in self.prefilters:
             return False
         predicates = self.prefilters[chronicle_name]
@@ -99,14 +129,26 @@ class ViewRegistry:
     prefilter:
         Enable the selection prefilter (disable to measure its benefit —
         benchmark E9 does exactly that).
+    compile:
+        Route maintenance through compiled plans
+        (:mod:`repro.algebra.plan`): view expressions are structurally
+        interned at registration so equivalent subexpressions across
+        independently-defined views share one node (and one delta
+        computation per event), and each view's delta propagation runs as
+        a fused closure pipeline instead of the tree interpreter.  Plans
+        are (re)compiled lazily after registration changes; appends never
+        pay compilation cost twice.
     """
 
-    def __init__(self, prefilter: bool = True) -> None:
+    def __init__(self, prefilter: bool = True, compile: bool = False) -> None:
         self.prefilter = prefilter
+        self.compile = compile
         self._views: Dict[str, RegisteredView] = {}
         self._periodic: Dict[str, PeriodicViewSet] = {}
         self._by_chronicle: Dict[str, List[RegisteredView]] = {}
         self._stats = {"events": 0, "candidate_views": 0, "maintained_views": 0}
+        self._compiler: Optional[PlanCompiler] = PlanCompiler() if compile else None
+        self._plans_stale = False
 
     # -- registration -----------------------------------------------------------------
 
@@ -115,6 +157,12 @@ class ViewRegistry:
         if view.name in self._views or view.name in self._periodic:
             raise ViewRegistrationError(f"view name {view.name!r} already registered")
         registered = RegisteredView(view)
+        if self._compiler is not None:
+            registered.root = self._compiler.add_root(view.expression)
+            registered.compile_prefilters()
+            # Sharing boundaries may have moved: recompile lazily, off the
+            # append path.
+            self._plans_stale = True
         self._views[view.name] = registered
         for chronicle_name in view.chronicle_names():
             self._by_chronicle.setdefault(chronicle_name, []).append(registered)
@@ -136,9 +184,13 @@ class ViewRegistry:
         registered = self._views.pop(name, None)
         if registered is None:
             raise ViewRegistrationError(f"no view named {name!r}")
-        for views in self._by_chronicle.values():
-            if registered in views:
+        for chronicle_name in registered.view.chronicle_names():
+            views = self._by_chronicle.get(chronicle_name)
+            if views is not None and registered in views:
                 views.remove(registered)
+        if self._compiler is not None and registered.root is not None:
+            self._compiler.remove_root(registered.root)
+            self._plans_stale = True
 
     # -- lookup ------------------------------------------------------------------------
 
@@ -169,6 +221,31 @@ class ViewRegistry:
         """Routing statistics: events, candidate views, maintained views."""
         return dict(self._stats)
 
+    # -- compilation --------------------------------------------------------------------
+
+    def ensure_compiled(self) -> None:
+        """(Re)compile every view's plan if registrations changed.
+
+        Called automatically on the first event after a registration
+        change; exposed so benchmarks can pay compilation up front.
+        """
+        if self._compiler is None or not self._plans_stale:
+            return
+        for registered in self._views.values():
+            registered.plan = self._compiler.compile(registered.root)
+        self._plans_stale = False
+
+    def interned_expression(self, name: str) -> Node:
+        """The interned (shared-subtree) expression of a registered view."""
+        registered = self._views.get(name)
+        if registered is None:
+            raise ViewRegistrationError(f"no view named {name!r}")
+        if registered.root is None:
+            raise ViewRegistrationError(
+                f"view {name!r} is registered in an interpreted registry"
+            )
+        return registered.root
+
     # -- routing -----------------------------------------------------------------------
 
     def attach(self, group: ChronicleGroup) -> None:
@@ -181,6 +258,8 @@ class ViewRegistry:
         Periodic view sets attached to the group route themselves.
         """
         self._stats["events"] += 1
+        if self._plans_stale:
+            self.ensure_compiled()
         candidates: Dict[str, RegisteredView] = {}
         for chronicle_name in event:
             for registered in self._by_chronicle.get(chronicle_name, ()):
@@ -197,9 +276,17 @@ class ViewRegistry:
                 continue
             if deltas is None:
                 deltas = event_deltas(group, event)
-            # One delta cache per event: views sharing subexpression
-            # objects compute each shared node's delta once.
-            registered.view.apply_event(deltas, cache=cache)
+            if registered.plan is not None:
+                # Compiled path: the plan computes the χ-delta (under the
+                # no-access guard); interned nodes shared between plans
+                # are served from the per-event cache.
+                with maintenance_guard():
+                    delta = registered.plan(deltas, cache)
+                registered.view.apply_delta(delta)
+            else:
+                # One delta cache per event: views sharing subexpression
+                # objects compute each shared node's delta once.
+                registered.view.apply_event(deltas, cache=cache)
             maintained += 1
         self._stats["maintained_views"] += maintained
         return maintained

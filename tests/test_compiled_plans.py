@@ -1,0 +1,474 @@
+"""Compiled maintenance plans: equivalence, interning, and fast paths.
+
+The compiled engine (:mod:`repro.algebra.plan`) must be observationally
+identical to the tree interpreter: for any CA/SCA expression and any
+append stream, a view maintained through compiled plans holds exactly
+the rows of one maintained through :func:`repro.algebra.delta_engine
+.propagate` (and both match the batch-recompute oracle).  On top of
+equivalence, structural interning must make independently defined views
+share subexpression deltas — verified through ``GLOBAL_COUNTERS``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregates import AVG, COUNT, MAX, MIN, SUM, spec
+from repro.algebra.ast import ChronicleProduct, scan
+from repro.algebra.plan import Interner, PlanCompiler, compile_predicate
+from repro.complexity.counters import GLOBAL_COUNTERS
+from repro.core.database import ChronicleDatabase
+from repro.core.delta import Delta
+from repro.core.group import ChronicleGroup
+from repro.errors import (
+    ChronicleAccessError,
+    SchemaError,
+    UnknownAttributeError,
+    ViewRegistrationError,
+)
+from repro.relational.predicate import Or, attr_cmp, attr_eq, attrs_cmp
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.tuples import Row
+from repro.sca.maintenance import attach_compiled_view, attach_view
+from repro.sca.summarize import GroupBySummary, ProjectSummary
+from repro.sca.view import PersistentView, evaluate_summary
+from repro.views.registry import ViewRegistry
+
+ACCT_RANGE = 4
+MINS_RANGE = 10
+
+
+def build_group():
+    group = ChronicleGroup("g")
+    calls = group.create_chronicle("calls", [("acct", "INT"), ("mins", "INT")])
+    fees = group.create_chronicle("fees", [("acct", "INT"), ("mins", "INT")])
+    customers = Relation(
+        "customers", Schema.build(("acct", "INT"), ("state", "STR"), key=["acct"])
+    )
+    for acct in range(ACCT_RANGE):
+        customers.insert({"acct": acct, "state": "NJ" if acct % 2 else "NY"})
+    return group, calls, fees, customers
+
+
+def run_events(group, events):
+    for target, records in events:
+        payload = [{"acct": acct, "mins": mins} for acct, mins in records]
+        if target == "both":
+            group.append_simultaneous({"calls": payload, "fees": payload})
+        else:
+            group.append(target, payload)
+
+
+def assert_compiled_matches_interpreted(node_factory, summary_factory, events):
+    """Maintain one summary through both engines; states must be equal."""
+    group, calls, fees, customers = build_group()
+    node = node_factory(calls, fees, customers)
+    summary = summary_factory(node, customers)
+    interpreted_registry = ViewRegistry(compile=False)
+    compiled_registry = ViewRegistry(compile=True)
+    interpreted_registry.attach(group)
+    compiled_registry.attach(group)
+    view_i = interpreted_registry.register(PersistentView("v", summary))
+    view_c = compiled_registry.register(PersistentView("v", summary))
+    run_events(group, events)
+    rows_i = sorted(tuple(r.values) for r in view_i)
+    rows_c = sorted(tuple(r.values) for r in view_c)
+    assert rows_c == rows_i
+    oracle = sorted(tuple(r.values) for r in evaluate_summary(summary))
+    assert rows_c == oracle
+
+
+# ---------------------------------------------------------------------------
+# Property test: randomized CA/SCA expressions and append streams
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def ca_expressions(draw, depth=2):
+    """A function (calls, fees, customers) -> CA node of schema
+    (sn, acct, mins)."""
+    if depth == 0:
+        which = draw(st.sampled_from(["calls", "fees"]))
+        return lambda calls, fees, customers: scan(calls if which == "calls" else fees)
+    op = draw(
+        st.sampled_from(
+            ["select", "select_or", "union", "difference", "join", "base", "base"]
+        )
+    )
+    if op == "base":
+        return draw(ca_expressions(depth=0))
+    if op in ("select", "select_or"):
+        child = draw(ca_expressions(depth=depth - 1))
+        attr = draw(st.sampled_from(["acct", "mins"]))
+        operator = draw(st.sampled_from(["=", "!=", "<", "<=", ">", ">="]))
+        bound = draw(st.integers(0, MINS_RANGE))
+        if op == "select":
+            predicate = attr_cmp(attr, operator, bound)
+        else:
+            bound2 = draw(st.integers(0, ACCT_RANGE))
+            predicate = Or(attr_cmp(attr, operator, bound), attr_eq("acct", bound2))
+        return lambda calls, fees, customers, c=child, p=predicate: c(
+            calls, fees, customers
+        ).select(p)
+    left = draw(ca_expressions(depth=depth - 1))
+    right = draw(ca_expressions(depth=depth - 1))
+    if op == "join":
+        # SeqJoin changes the schema, so keep it shallow: join two bases
+        # and project back onto the common (sn, acct, mins) shape.
+        return lambda calls, fees, customers, l=left, r=right: l(
+            calls, fees, customers
+        ).join(r(calls, fees, customers)).project(["sn", "acct", "mins"])
+    if op == "union":
+        return lambda calls, fees, customers, l=left, r=right: l(
+            calls, fees, customers
+        ).union(r(calls, fees, customers))
+    return lambda calls, fees, customers, l=left, r=right: l(
+        calls, fees, customers
+    ).minus(r(calls, fees, customers))
+
+
+@st.composite
+def summaries(draw):
+    """A function (node, customers) -> Summary over the node."""
+    kind = draw(st.sampled_from(["project", "group", "group_global"]))
+    join_relation = draw(st.booleans())
+    group_attr = draw(st.sampled_from(["acct", "state"])) if join_relation else "acct"
+    aggs = [spec(SUM, "mins"), spec(COUNT), spec(MIN, "mins"), spec(MAX, "mins"),
+            spec(AVG, "mins")]
+    chosen = draw(
+        st.lists(st.sampled_from(range(len(aggs))), min_size=1, max_size=3, unique=True)
+    )
+    selected = [aggs[i] for i in chosen]
+
+    def build(node, customers):
+        if join_relation:
+            node = node.keyjoin(customers, [("acct", "acct")])
+        if kind == "project":
+            names = ["acct", "mins"] if not join_relation else ["acct", "state"]
+            return ProjectSummary(node, names)
+        if kind == "group_global":
+            return GroupBySummary(node, [], selected)
+        return GroupBySummary(node, [group_attr], selected)
+
+    return build
+
+
+events_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["calls", "fees", "both"]),
+        st.lists(
+            st.tuples(st.integers(0, ACCT_RANGE - 1), st.integers(0, MINS_RANGE)),
+            min_size=1,
+            max_size=3,
+        ),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(ca_expressions(), summaries(), events_strategy)
+def test_compiled_equals_interpreted(expression_factory, summary_factory, events):
+    assert_compiled_matches_interpreted(expression_factory, summary_factory, events)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ca_expressions(depth=3), summaries(), events_strategy)
+def test_compiled_equals_interpreted_deep(expression_factory, summary_factory, events):
+    assert_compiled_matches_interpreted(expression_factory, summary_factory, events)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic equivalence of the fused chains and joins
+# ---------------------------------------------------------------------------
+
+
+class TestFusedPipelines:
+    def test_project_select_chain(self):
+        events = [("calls", [(a % ACCT_RANGE, m % (MINS_RANGE + 1))])
+                  for a, m in enumerate(range(25))]
+        assert_compiled_matches_interpreted(
+            lambda calls, fees, customers: scan(calls)
+            .select(attr_cmp("mins", ">", 1))
+            .project(["sn", "mins"])
+            .select(attr_cmp("mins", "<", 8)),
+            lambda node, customers: ProjectSummary(node, ["mins"]),
+            events,
+        )
+
+    def test_seq_join_with_simultaneous_appends(self):
+        events = [("both", [(i % ACCT_RANGE, i % MINS_RANGE), (1, 2)]) for i in range(8)]
+        assert_compiled_matches_interpreted(
+            lambda calls, fees, customers: scan(calls).join(scan(fees)),
+            lambda node, customers: GroupBySummary(
+                node, ["acct"], [spec(COUNT), spec(SUM, "r_mins")]
+            ),
+            events,
+        )
+
+    def test_rel_product_with_select(self):
+        events = [("calls", [(i % ACCT_RANGE, i % MINS_RANGE)]) for i in range(10)]
+        assert_compiled_matches_interpreted(
+            lambda calls, fees, customers: scan(calls)
+            .product(customers)
+            .select(attrs_cmp("acct", "=", "r_acct")),
+            lambda node, customers: GroupBySummary(node, ["state"], [spec(SUM, "mins")]),
+            events,
+        )
+
+    def test_groupby_seq_node(self):
+        events = [("calls", [(i % 2, 3), (i % 2, 3)]) for i in range(6)]
+        assert_compiled_matches_interpreted(
+            lambda calls, fees, customers: scan(calls).groupby_sn(
+                ["sn", "acct"], [spec(SUM, "mins", output="batch_mins")]
+            ),
+            lambda node, customers: GroupBySummary(
+                node, ["acct"], [spec(SUM, "batch_mins"), spec(COUNT)]
+            ),
+            events,
+        )
+
+    def test_extension_operator_falls_back_to_interpreter(self):
+        group, calls, fees, _ = build_group()
+        node = ChronicleProduct(scan(calls), scan(fees))
+        compiler = PlanCompiler()
+        plan = compiler.compile(compiler.add_root(node))
+        rows = group.append(calls, {"acct": 1, "mins": 2})
+        deltas = {"calls": Delta(calls.schema, rows)}
+        # The fallback routes through propagate(), which (correctly)
+        # refuses chronicle access for the Theorem 4.3 extension ops.
+        with pytest.raises(ChronicleAccessError):
+            plan(deltas)
+
+
+# ---------------------------------------------------------------------------
+# Structural interning / cross-view sharing
+# ---------------------------------------------------------------------------
+
+
+class TestInterning:
+    def test_equal_trees_intern_to_one_node(self):
+        _, calls, _, _ = build_group()
+        interner = Interner()
+        a = interner.intern(scan(calls).select(attr_cmp("mins", ">", 2)))
+        b = interner.intern(scan(calls).select(attr_cmp("mins", ">", 2)))
+        assert a is b
+
+    def test_different_predicates_stay_distinct(self):
+        _, calls, _, _ = build_group()
+        interner = Interner()
+        a = interner.intern(scan(calls).select(attr_cmp("mins", ">", 2)))
+        b = interner.intern(scan(calls).select(attr_cmp("mins", ">", 3)))
+        assert a is not b
+        assert a.children[0] is b.children[0]  # the scan is still shared
+
+    def test_text_defined_views_share_one_delta_computation(self):
+        db = ChronicleDatabase()
+        db.create_chronicle("calls", [("caller", "INT"), ("minutes", "INT")])
+        a = db.define_view(
+            "DEFINE VIEW a AS SELECT caller, SUM(minutes) AS total "
+            "FROM calls WHERE minutes > 2 GROUP BY caller"
+        )
+        b = db.define_view(
+            "DEFINE VIEW b AS SELECT caller, COUNT(*) AS n "
+            "FROM calls WHERE minutes > 2 GROUP BY caller"
+        )
+        # Independently compiled from text, yet one interned expression.
+        assert db.registry.interned_expression("a") is db.registry.interned_expression("b")
+        with GLOBAL_COUNTERS.measure() as cost:
+            db.append("calls", {"caller": 1, "minutes": 5})
+        # The shared filtered scan is evaluated once and served from the
+        # per-event cache for the second view: one selection tuple_op plus
+        # one fold per view, and exactly one cache hit.
+        assert cost["delta_cache_hit"] == 1
+        assert cost["tuple_op"] == 3
+        assert a.value((1,), "total") == 5
+        assert b.value((1,), "n") == 1
+
+    def test_partial_sharing_breaks_fusion_at_shared_node(self):
+        db = ChronicleDatabase()
+        db.create_chronicle("calls", [("caller", "INT"), ("minutes", "INT")])
+        db.define_view(
+            "DEFINE VIEW a AS SELECT caller, SUM(minutes) AS total "
+            "FROM calls WHERE minutes > 0 GROUP BY caller"
+        )
+        db.define_view(
+            "DEFINE VIEW b AS SELECT caller, SUM(minutes) AS total "
+            "FROM calls WHERE minutes > 0 AND caller > 0 GROUP BY caller"
+        )
+        root_a = db.registry.interned_expression("a")
+        root_b = db.registry.interned_expression("b")
+        assert root_a is not root_b
+        # The trees differ but overlap: at least the scan is one object.
+        shared = {id(n) for n in root_a.walk()} & {id(n) for n in root_b.walk()}
+        assert shared
+        with GLOBAL_COUNTERS.measure() as cost:
+            db.append("calls", {"caller": 1, "minutes": 5})
+        assert cost["delta_cache_hit"] >= 1
+
+    def test_sharing_preserves_results_over_stream(self):
+        import random
+
+        db = ChronicleDatabase()
+        db.create_chronicle("calls", [("caller", "INT"), ("minutes", "INT")])
+        a = db.define_view(
+            "DEFINE VIEW a AS SELECT caller, SUM(minutes) AS total "
+            "FROM calls WHERE minutes > 2 GROUP BY caller"
+        )
+        b = db.define_view(
+            "DEFINE VIEW b AS SELECT COUNT(*) AS n FROM calls WHERE minutes > 2"
+        )
+        rng = random.Random(7)
+        for _ in range(120):
+            db.append(
+                "calls", {"caller": rng.randrange(4), "minutes": rng.randrange(6)}
+            )
+        assert sorted(r.values for r in a) == sorted(
+            r.values for r in evaluate_summary(a.summary)
+        )
+        assert list(b)[0]["n"] == list(evaluate_summary(b.summary))[0]["n"]
+
+    def test_unregister_releases_sharing(self):
+        db = ChronicleDatabase()
+        db.create_chronicle("calls", [("caller", "INT"), ("minutes", "INT")])
+        db.define_view(
+            "DEFINE VIEW a AS SELECT caller, SUM(minutes) AS total "
+            "FROM calls WHERE minutes > 2 GROUP BY caller"
+        )
+        b = db.define_view(
+            "DEFINE VIEW b AS SELECT caller, COUNT(*) AS n "
+            "FROM calls WHERE minutes > 2 GROUP BY caller"
+        )
+        db.drop_view("a")
+        with pytest.raises(ViewRegistrationError):
+            db.registry.interned_expression("a")
+        with GLOBAL_COUNTERS.measure() as cost:
+            db.append("calls", {"caller": 2, "minutes": 9})
+        # Only one consumer left: nothing is served from the cache.
+        assert cost["delta_cache_hit"] == 0
+        assert b.value((2,), "n") == 1
+
+    def test_compiled_registry_prefilter_skips_views(self):
+        registry = ViewRegistry(prefilter=True, compile=True)
+        group, calls, _, _ = build_group()
+        registry.attach(group)
+        selective = registry.register(
+            PersistentView(
+                "big",
+                GroupBySummary(
+                    scan(calls).select(attr_cmp("mins", ">", 100)),
+                    ["acct"],
+                    [spec(COUNT)],
+                ),
+            )
+        )
+        group.append(calls, {"acct": 1, "mins": 5})
+        assert selective.maintenance_count == 0  # prefiltered out
+        group.append(calls, {"acct": 1, "mins": 500})
+        assert selective.maintenance_count == 1
+        assert registry.stats["maintained_views"] == 1
+
+
+# ---------------------------------------------------------------------------
+# attach_compiled_view (single-view hook)
+# ---------------------------------------------------------------------------
+
+
+class TestAttachCompiledView:
+    def test_matches_interpreted_single_view(self):
+        group, calls, fees, customers = build_group()
+        node = scan(calls).select(attr_cmp("mins", ">", 1))
+        summary = GroupBySummary(node, ["acct"], [spec(SUM, "mins"), spec(COUNT)])
+        view_i = PersistentView("i", summary)
+        view_c = PersistentView("c", summary)
+        attach_view(view_i, group)
+        attach_compiled_view(view_c, group)
+        for i in range(30):
+            group.append(calls, {"acct": i % 3, "mins": i % 5})
+        assert sorted(r.values for r in view_c) == sorted(r.values for r in view_i)
+
+
+# ---------------------------------------------------------------------------
+# Compiled predicates
+# ---------------------------------------------------------------------------
+
+
+class TestCompilePredicate:
+    def test_positions_not_names(self):
+        schema = Schema.build(("a", "INT"), ("b", "INT"))
+        test = compile_predicate(attr_cmp("b", ">=", 3), schema)
+        assert test((0, 3)) and not test((0, 2))
+
+    def test_null_semantics_match_evaluate(self):
+        schema = Schema.build(("a", "INT"), ("b", "INT"))
+        for predicate in (
+            attr_cmp("a", "<", 5),
+            attrs_cmp("a", "=", "b"),
+            Or(attr_cmp("a", ">", 1), attr_eq("b", 0)),
+        ):
+            test = compile_predicate(predicate, schema)
+            for values in ((None, 0), (2, None), (2, 2), (0, 0)):
+                row = Row(schema, values, validate=False)
+                assert test(values) == predicate.evaluate(row)
+
+
+# ---------------------------------------------------------------------------
+# Batched append fast path
+# ---------------------------------------------------------------------------
+
+
+class TestBatchedAdmit:
+    def test_unchecked_constructor(self):
+        schema = Schema.build(("a", "INT"), ("b", "STR"))
+        row = Row.unchecked(schema, (1, "x"))
+        assert row.values == (1, "x") and row.schema is schema
+        assert row == Row(schema, [1, "x"])
+
+    def test_schema_name_caches(self):
+        schema = Schema.build(("a", "INT"), ("b", "STR"))
+        assert schema.names is schema.names  # cached, not rebuilt
+        assert schema.names_set == frozenset(("a", "b"))
+
+    def test_batch_matches_single_admit_forms(self):
+        group, calls, _, _ = build_group()
+        rows = group.append(
+            "calls",
+            [
+                {"acct": 1, "mins": 2},
+                {"sn": None, "acct": 2, "mins": 3},
+                (4, 5),
+            ],
+        )
+        assert [r.values for r in rows] == [(0, 1, 2), (0, 2, 3), (0, 4, 5)]
+
+    def test_batch_rejects_unknown_attribute(self):
+        group, calls, _, _ = build_group()
+        with pytest.raises(UnknownAttributeError):
+            group.append("calls", [{"acct": 1, "mins": 2, "zzz": 9}])
+        # Extra key smuggled in place of the omitted sequence attribute.
+        with pytest.raises(UnknownAttributeError):
+            group.append("calls", [{"acct": 1, "mins": 2, "zzz": 9, "yyy": 1}])
+
+    def test_batch_rejects_missing_attribute(self):
+        group, calls, _, _ = build_group()
+        with pytest.raises(SchemaError):
+            group.append("calls", [{"acct": 1}])
+
+    def test_batch_rejects_foreign_sequence_number(self):
+        group, calls, _, _ = build_group()
+        with pytest.raises(SchemaError):
+            group.append("calls", [{"sn": 99, "acct": 1, "mins": 2}])
+        with pytest.raises(SchemaError):
+            group.append("calls", [(99, 1, 2)])
+
+    def test_batch_validates_domains(self):
+        group, calls, _, _ = build_group()
+        with pytest.raises(Exception):
+            group.append("calls", [{"acct": "not-an-int", "mins": 2}])
+
+    def test_batch_deduplicates_within_event(self):
+        group, calls, _, _ = build_group()
+        rows = group.append("calls", [{"acct": 1, "mins": 2}, {"acct": 1, "mins": 2}])
+        assert len(rows) == 1
