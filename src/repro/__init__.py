@@ -27,6 +27,7 @@ from .aggregates import AVG, COUNT, FIRST, LAST, MAX, MIN, STDEV, SUM, VAR, Aggr
 from .algebra import IMClass, Language, classify, scan
 from .core import Chronicle, ChronicleGroup, Delta, chronicle_schema
 from .core.database import ChronicleDatabase
+from .obs import MetricsRegistry, Observability, Tracer
 from .relational import (
     Attribute,
     Relation,
@@ -94,6 +95,9 @@ __all__ = [
     "IncrementalTieredComputation",
     "ViewQuery",
     "top_k",
+    "Observability",
+    "MetricsRegistry",
+    "Tracer",
     "errors",
     "__version__",
 ]

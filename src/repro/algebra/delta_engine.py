@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Mapping, MutableMapping, Optional
 from ..complexity.counters import GLOBAL_COUNTERS
 from ..core.delta import Delta
 from ..errors import ChronicleAccessError
+from ..obs import runtime as obs_runtime
 from ..relational.tuples import Row
 from .ast import (
     ChronicleProduct,
@@ -90,7 +91,21 @@ def propagate(
     handler = _HANDLERS.get(type(node))
     if handler is None:
         raise TypeError(f"no delta rule for {type(node).__name__}")
-    result = handler(node, deltas, allow_chronicle_access, cache)
+    obs = obs_runtime.ACTIVE
+    if obs is not None and obs.trace_operators:
+        # Mirror of the compiled engine's per-step ``delta`` spans, so
+        # traces look the same whichever engine maintains a view.
+        tracer = obs.tracer
+        span = tracer.start(
+            "delta", operator=type(node).__name__, engine="interpreted"
+        )
+        try:
+            result = handler(node, deltas, allow_chronicle_access, cache)
+            span.attrs["rows"] = len(result.rows)
+        finally:
+            tracer.finish(span)
+    else:
+        result = handler(node, deltas, allow_chronicle_access, cache)
     if cache is not None:
         cache[id(node)] = result
     return result

@@ -36,6 +36,7 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..complexity.counters import GLOBAL_COUNTERS
 from ..core.delta import Delta
+from ..obs import runtime as obs_runtime
 from ..relational.predicate import And, Comparison, Not, Or, Predicate, TruePredicate
 from ..relational.schema import Schema
 from ..relational.tuples import Row
@@ -333,18 +334,39 @@ class PlanCompiler:
         fn = self._step_inner(node)
         if self.is_shared(node):
             key = id(node)
+            inner = fn
 
             def cached(deltas: Mapping[str, Delta], cache: Dict[int, Delta]) -> Delta:
                 memo = cache.get(key)
                 if memo is not None:
                     GLOBAL_COUNTERS.count("delta_cache_hit")
                     return memo
-                result = fn(deltas, cache)
+                result = inner(deltas, cache)
                 cache[key] = result
                 return result
 
-            return cached
-        return fn
+            fn = cached
+        # Observability shim: a ``delta`` span per step when operator
+        # tracing is on.  The disabled path is one module-attribute load
+        # and an identity test per step call — plans never need to be
+        # recompiled to toggle tracing.
+        kind = type(node).__name__
+        step_fn = fn
+
+        def traced(deltas: Mapping[str, Delta], cache: Dict[int, Delta]) -> Delta:
+            obs = obs_runtime.ACTIVE
+            if obs is None or not obs.trace_operators:
+                return step_fn(deltas, cache)
+            tracer = obs.tracer
+            span = tracer.start("delta", operator=kind, engine="compiled")
+            try:
+                result = step_fn(deltas, cache)
+                span.attrs["rows"] = len(result.rows)
+                return result
+            finally:
+                tracer.finish(span)
+
+        return traced
 
     def _step_inner(self, node: Node) -> PlanFn:
         if isinstance(node, ChronicleScan):

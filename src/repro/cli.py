@@ -14,8 +14,17 @@ commands::
     QUERY usage 5551234;
     SHOW VIEW usage;
     SHOW CATALOG;
+    SHOW STATS;
+    TRACE 3;
     CHECKPOINT /tmp/db.ckpt;
     RESTORE /tmp/db.ckpt;
+
+``SHOW STATS`` prints the registry routing statistics and the metrics
+snapshot; ``TRACE n`` prints the last *n* append traces (span trees with
+wall time and cost-counter diffs).  A session keeps its own
+:class:`~repro.obs.Observability` handle and installs it only for the
+duration of each statement, so CLI instrumentation never leaks into the
+rest of the process.
 
 Records are JSON objects.  The module is import-safe: :class:`Session`
 executes statements and returns text, so tests drive it directly.
@@ -30,6 +39,7 @@ from typing import Any, List, Optional, Tuple
 
 from .core.database import ChronicleDatabase
 from .errors import ChronicleError
+from .obs import runtime as obs_runtime
 
 _ATTR_LIST = re.compile(r"\(\s*(.*?)\s*\)", re.S)
 
@@ -76,15 +86,29 @@ def _format_rows(rows: List[Any], limit: int = 20) -> str:
 
 
 class Session:
-    """One CLI session over a fresh :class:`ChronicleDatabase`."""
+    """One CLI session over a fresh :class:`ChronicleDatabase`.
 
-    def __init__(self) -> None:
+    With *observe* (the default), statements run under the session's
+    observability handle: ``SHOW STATS`` and ``TRACE n`` become
+    available, at the cost of tracing overhead per statement.
+    """
+
+    def __init__(self, observe: bool = True) -> None:
         self.db = ChronicleDatabase()
+        if observe:
+            self.db.enable_observability(install=False, audit="warn")
 
     # -- statement dispatch ----------------------------------------------------------
 
     def execute(self, statement: str) -> str:
         """Execute one (semicolon-free) statement; returns display text."""
+        obs = self.db.observability
+        if obs is None:
+            return self._execute(statement)
+        with obs_runtime.installed(obs):
+            return self._execute(statement)
+
+    def _execute(self, statement: str) -> str:
         statement = statement.strip()
         if not statement or statement.startswith("--"):
             return ""
@@ -111,6 +135,8 @@ class Session:
             return self._query(words)
         if head == "SHOW":
             return self._show(words)
+        if head == "TRACE":
+            return self._trace(words)
         if head == "CHECKPOINT":
             self.db.checkpoint(self._path_arg(words, "CHECKPOINT"))
             return "checkpoint written"
@@ -209,7 +235,59 @@ class Session:
                 raise CliError("SHOW VIEW: missing view name")
             view = self.db.view(words[2])
             return _format_rows(sorted(view.rows(), key=lambda r: r.values))
+        if target == "STATS":
+            return self._show_stats()
         raise CliError(f"SHOW: unknown target {target!r}")
+
+    def _observability(self):
+        obs = self.db.observability
+        if obs is None:
+            raise CliError(
+                "observability is disabled for this session "
+                "(construct Session(observe=True))"
+            )
+        return obs
+
+    def _show_stats(self) -> str:
+        obs = self._observability()
+        lines = ["== registry =="]
+        for key, value in sorted(self.db.registry.stats.items()):
+            lines.append(f"  {key}: {value}")
+        lines.append("== audit ==")
+        for key, value in sorted(obs.auditor.summary().items()):
+            lines.append(f"  {key}: {value}")
+        lines.append("== metrics ==")
+        metrics_start = len(lines)
+        for name, family in sorted(obs.metrics.as_dict().items()):
+            for labels, value in family["series"].items():
+                series = f"{name}{{{labels}}}" if labels else name
+                if family["type"] == "histogram":
+                    lines.append(
+                        f"  {series} count={value['count']} "
+                        f"sum={value['sum']:.6f}"
+                    )
+                else:
+                    lines.append(f"  {series} {value}")
+        if len(lines) == metrics_start:
+            lines.append("  (no metrics recorded yet)")
+        return "\n".join(lines)
+
+    def _trace(self, words: List[str]) -> str:
+        obs = self._observability()
+        if len(words) > 2:
+            raise CliError("TRACE: expected TRACE [n]")
+        count = 1
+        if len(words) == 2:
+            try:
+                count = int(words[1])
+            except ValueError:
+                raise CliError(f"TRACE: bad count {words[1]!r}") from None
+            if count < 1:
+                raise CliError("TRACE: count must be >= 1")
+        traces = obs.tracer.traces(count)
+        if not traces:
+            return "  (no traces recorded yet)"
+        return "\n".join(span.format(indent=1) for span in traces)
 
     # -- statement splitting ----------------------------------------------------------
 

@@ -20,12 +20,26 @@ on a laptop is noisy at these scales, so alongside timing we count the
 
 A single process-wide :data:`GLOBAL_COUNTERS` instance is threaded through
 the storage and maintenance layers; benchmarks snapshot and diff it.
+
+.. warning:: **Process-wide caveat.**  :data:`GLOBAL_COUNTERS` is one
+   shared instance: plain :meth:`CostCounters.measure` diffs observe
+   *every* count made anywhere in the process while the block runs.  Two
+   overlapping ``measure()`` blocks — a benchmark on one thread and the
+   observability tracer on another, or nested consumers on the same
+   thread that must not see each other — therefore corrupt each other's
+   deltas.  Consumers that need isolation should use
+   :meth:`CostCounters.scope`, which yields a private counter bundle fed
+   only by counts made *by the current thread* while the scope is
+   active.  Scopes nest (an inner scope's counts also land in the outer
+   one) and scopes on different threads never mix.  ``measure()``
+   remains the cheap single-threaded tool; ``scope()`` is the safe one.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
-from typing import Dict, Iterator
+from typing import Dict, Iterator, List
 
 
 class CostCounters:
@@ -42,16 +56,23 @@ class CostCounters:
         "delta_cache_hit",
     )
 
-    __slots__ = ("counts", "enabled")
+    __slots__ = ("counts", "enabled", "_scopes", "_local")
 
     def __init__(self) -> None:
         self.counts: Dict[str, int] = {event: 0 for event in self.EVENTS}
         self.enabled = True
+        # Number of scope() blocks active across all threads.  Zero in
+        # steady state, so count()'s fast path pays one extra truth test.
+        self._scopes = 0
+        self._local = threading.local()
 
     def count(self, event: str, amount: int = 1) -> None:
         """Record *amount* occurrences of *event*."""
         if self.enabled:
             self.counts[event] += amount
+            if self._scopes:
+                for scoped in getattr(self._local, "stack", ()):
+                    scoped[event] = scoped.get(event, 0) + amount
 
     def reset(self) -> None:
         """Zero every counter."""
@@ -85,6 +106,33 @@ class CostCounters:
             yield result
         finally:
             result.update(self.diff(before))
+
+    @contextmanager
+    def scope(self) -> Iterator["CostCounters"]:
+        """Thread-local isolated counting scope.
+
+        Yields a fresh :class:`CostCounters` that accumulates only the
+        counts made *by the calling thread* while the scope is active.
+        Unlike :meth:`measure`, concurrent consumers on other threads
+        cannot pollute the result, and nested scopes compose: counts made
+        inside an inner scope are credited to every enclosing scope of
+        the same thread (and still to the global totals).
+
+        >>> with GLOBAL_COUNTERS.scope() as cost:
+        ...     do_work()
+        >>> cost.counts["tuple_op"]
+        """
+        scoped = CostCounters()
+        stack: List[Dict[str, int]] = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        stack.append(scoped.counts)
+        self._scopes += 1
+        try:
+            yield scoped
+        finally:
+            self._scopes -= 1
+            stack.pop()
 
     @contextmanager
     def disabled(self) -> Iterator[None]:

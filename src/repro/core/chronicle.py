@@ -27,6 +27,7 @@ from contextlib import contextmanager
 from typing import Any, Deque, Iterator, List, Mapping, Optional, Sequence, Union
 
 from ..complexity.counters import GLOBAL_COUNTERS
+from ..obs import runtime as obs_runtime
 from ..errors import (
     ChronicleAccessError,
     RetentionError,
@@ -194,6 +195,11 @@ class Chronicle:
                         )
                     values[seq_position] = sequence_number
             rows.append(unchecked(schema, check_values(values)))
+        obs = obs_runtime.ACTIVE
+        if obs is not None:
+            obs.metrics.inc(
+                "chronicle_records_admitted_total", len(rows), chronicle=self.name
+            )
         return rows
 
     @staticmethod
@@ -210,12 +216,16 @@ class Chronicle:
     def _store(self, rows: Sequence[Row]) -> None:
         """Retain *rows* according to the retention policy."""
         self._appended += len(rows)
-        if self.retention == 0:
-            return
-        self._stored.extend(rows)
-        if self.retention is not None:
-            while len(self._stored) > self.retention:
-                self._stored.popleft()
+        obs = obs_runtime.ACTIVE
+        if self.retention != 0:
+            self._stored.extend(rows)
+            if self.retention is not None:
+                while len(self._stored) > self.retention:
+                    self._stored.popleft()
+        if obs is not None:
+            metrics = obs.metrics
+            metrics.inc("chronicle_appends_total", len(rows), chronicle=self.name)
+            metrics.set("chronicle_stored_rows", len(self._stored), chronicle=self.name)
 
     # -- reads (guarded) ------------------------------------------------------------
 

@@ -34,6 +34,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..aggregates.registry import AggregateRegistry, default_registry
 from ..errors import ChronicleGroupError, ViewRegistrationError
+from ..obs import Observability
 from ..query.compiler import Catalog, Compiler
 from ..relational.schema import Schema
 from ..relational.tuples import Row
@@ -64,6 +65,16 @@ class ChronicleDatabase:
     aggregates:
         Aggregate registry for the view language; defaults to a fresh
         copy of the standard registry.
+    observe:
+        Create and install an :class:`~repro.obs.Observability` instance
+        (tracing + metrics + warn-mode auditor) for this database.  Off
+        by default — the maintenance pipeline then runs with the no-op
+        fast path and zero instrumentation cost.
+    observability:
+        Install a pre-configured :class:`~repro.obs.Observability`
+        instead (implies *observe*).  Note the runtime slot is
+        process-wide, like ``GLOBAL_COUNTERS``: the installed instance
+        observes every database in the process.
     """
 
     def __init__(
@@ -71,12 +82,53 @@ class ChronicleDatabase:
         prefilter_views: bool = True,
         compile_views: bool = True,
         aggregates: Optional[AggregateRegistry] = None,
+        observe: bool = False,
+        observability: Optional[Observability] = None,
     ) -> None:
         self.groups: Dict[str, ChronicleGroup] = {}
         self.relations: Dict[str, VersionedRelation] = {}
         self.registry = ViewRegistry(prefilter=prefilter_views, compile=compile_views)
         self.aggregates = aggregates if aggregates is not None else default_registry()
         self._chronicle_group: Dict[str, str] = {}  # chronicle name -> group name
+        self._observability: Optional[Observability] = None
+        if observability is not None or observe:
+            self.enable_observability(observability)
+
+    # -- observability --------------------------------------------------------------
+
+    @property
+    def observability(self) -> Optional[Observability]:
+        """The database's observability handle (None when never enabled)."""
+        return self._observability
+
+    def enable_observability(
+        self, obs: Optional[Observability] = None, install: bool = True, **config: Any
+    ) -> Observability:
+        """Install (or re-install) observability for this database.
+
+        *obs* is an existing :class:`~repro.obs.Observability`; with
+        ``None`` one is built from *config* (``trace``,
+        ``trace_operators``, ``audit``, ``view_read_limit``, ``ring``) —
+        or the previously enabled handle is re-installed when no config
+        is given.  With ``install=False`` the handle is attached to the
+        database but not published to the process-wide runtime slot
+        (callers then scope it themselves with
+        :func:`repro.obs.runtime.installed` — the CLI does this per
+        statement).
+        """
+        if obs is None:
+            obs = (
+                self._observability
+                if self._observability is not None and not config
+                else Observability(**config)
+            )
+        self._observability = obs
+        return obs.install() if install else obs
+
+    def disable_observability(self) -> None:
+        """Withdraw this database's observability (keeps the handle)."""
+        if self._observability is not None:
+            self._observability.uninstall()
 
     # -- catalog --------------------------------------------------------------------
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..errors import ChronicleGroupError, SchemaError
+from ..obs import runtime as obs_runtime
 from ..relational.schema import Attribute, Schema
 from ..relational.tuples import Row
 from ..relational.types import SEQ
@@ -170,7 +171,32 @@ class ChronicleGroup:
 
         This is the "simultaneous insertion" of Section 4: every record in
         every batch shares the same fresh sequence number.
+
+        When observability is installed with tracing on, the whole call —
+        admission, storage, and every maintenance listener — runs inside
+        one ``append`` root span (see :mod:`repro.obs`).
         """
+        obs = obs_runtime.ACTIVE
+        if obs is not None and obs.trace:
+            span = obs.tracer.start("append", group=self.name)
+            try:
+                stamped = self._append_impl(batches, sequence_number, instant)
+                sizes = {name: len(rows) for name, rows in stamped.items() if rows}
+                span.attrs["deltas"] = sizes
+                if sizes:
+                    first = next(rows for rows in stamped.values() if rows)
+                    span.attrs["sequence"] = first[0].sequence_number
+            finally:
+                obs.tracer.finish(span)
+            return stamped
+        return self._append_impl(batches, sequence_number, instant)
+
+    def _append_impl(
+        self,
+        batches: Mapping["Chronicle | str", Union[RowValues, Sequence[RowValues]]],
+        sequence_number: Optional[SequenceNumber] = None,
+        instant: Optional[float] = None,
+    ) -> Dict[str, Tuple[Row, ...]]:
         resolved: Dict[Chronicle, List[RowValues]] = {}
         for target, records in batches.items():
             chronicle = self._resolve(target)

@@ -161,6 +161,24 @@ class CalendarError(ViewError):
 
 
 # ---------------------------------------------------------------------------
+# Observability errors
+# ---------------------------------------------------------------------------
+
+
+class ObservabilityError(ChronicleError):
+    """An observability (tracing / metrics / audit) operation failed."""
+
+
+class MaintenanceAuditError(ObservabilityError):
+    """The live auditor observed a maintenance invariant violation.
+
+    Raised (in ``raise`` mode) when a maintenance span's cost-counter
+    diff shows chronicle reads, or unbounded view reads, on the append
+    path — the operational form of the Theorem 4.2/4.4 no-access rule.
+    """
+
+
+# ---------------------------------------------------------------------------
 # Query language errors
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,56 @@
+"""Observability for the maintenance pipeline: traces, metrics, audit.
+
+The paper proves *per-append cost guarantees* (Theorems 4.2-4.5); this
+package makes them observable on a live system instead of only checkable
+offline through benchmark counter diffs:
+
+* :mod:`~repro.obs.tracer` — span trees per append event
+  (``append`` → ``prefilter`` → per-view ``maintain`` → per-operator
+  ``delta``), each span carrying wall time and a
+  :class:`~repro.complexity.counters.CostCounters` diff; bounded ring
+  buffer, JSON-lines export;
+* :mod:`~repro.obs.metrics` — counters / gauges / fixed-bucket
+  histograms keyed by (view, chronicle, operator), exportable as a
+  dict, JSON, or Prometheus text;
+* :mod:`~repro.obs.auditor` — the live no-chronicle-access check:
+  ``chronicle_read == 0`` and ``view_read`` bounded per maintenance
+  span, in ``warn`` or ``raise`` mode;
+* :mod:`~repro.obs.runtime` — the module-level no-op fast path that
+  keeps all of it zero-cost when disabled.
+
+Quickstart::
+
+    from repro import ChronicleDatabase
+
+    db = ChronicleDatabase(observe=True)      # installs observability
+    ...
+    db.observability.tracer.last().format()   # the latest append trace
+    db.observability.metrics.to_prometheus()  # scrapeable metrics
+"""
+
+from .auditor import AuditViolation, AuditWarning, Auditor
+from .core import Observability
+from .metrics import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .runtime import get as get_observability
+from .tracer import Span, Tracer
+
+__all__ = [
+    "AuditViolation",
+    "AuditWarning",
+    "Auditor",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "Span",
+    "Tracer",
+    "get_observability",
+]

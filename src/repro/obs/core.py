@@ -1,0 +1,151 @@
+"""The :class:`Observability` façade: tracer + metrics + auditor.
+
+One instance bundles the three surfaces and the configuration knobs,
+and bridges them: every finished span flows through
+:meth:`Observability.on_span_end`, which feeds the metrics registry and
+hands maintenance spans to the auditor.  Installing the instance
+(:meth:`install`, or ``ChronicleDatabase(observe=True)``) publishes it
+to :mod:`repro.obs.runtime`, which is the only thing the hot-path hooks
+ever look at — so constructing an Observability costs nothing until it
+is installed, and uninstalling restores the zero-overhead no-op path.
+
+Span names are the contract between the hooks and this bridge:
+
+``append``
+    One whole append event (admission + every listener).  Metrics:
+    ``append_events_total{group}``, ``append_seconds{group}``, and the
+    per-event :class:`~repro.complexity.counters.CostCounters` deltas as
+    ``cost_<event>_total`` counters.
+``prefilter``
+    The registry's candidate filtering for one event.
+``maintain``
+    One view maintained for one event.  Metrics:
+    ``view_maintained_total{view,engine}``,
+    ``view_maintain_seconds{view,engine}``; audited.
+``delta``
+    One operator delta step (compiled plan step or interpreter node).
+    Metrics: ``operator_invocations_total{operator,engine}``,
+    ``operator_delta_rows_total{operator,engine}``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from . import runtime
+from .auditor import Auditor
+from .metrics import MetricsRegistry
+from .tracer import Span, Tracer
+
+
+class Observability:
+    """Tracing, metrics, and auditing for one process.
+
+    Parameters
+    ----------
+    trace:
+        Record span trees per append event (ring buffer of *ring*).
+    trace_operators:
+        Also record per-operator ``delta`` spans (the deepest, most
+        verbose layer; disable to trace only append/view granularity).
+    audit:
+        Auditor mode: ``"off"``, ``"warn"``, or ``"raise"``.  Any mode
+        other than ``"off"`` forces *trace* on — the auditor reads the
+        counter diffs the tracer collects.
+    view_read_limit:
+        Permitted ``view_read`` count per maintenance span (default 0).
+    ring:
+        Trace ring-buffer capacity.
+    """
+
+    def __init__(
+        self,
+        trace: bool = True,
+        trace_operators: bool = True,
+        audit: str = "warn",
+        view_read_limit: int = 0,
+        ring: int = 256,
+    ) -> None:
+        self.metrics = MetricsRegistry()
+        self.auditor = Auditor(
+            mode=audit, view_read_limit=view_read_limit, metrics=self.metrics
+        )
+        self.trace = bool(trace) or self.auditor.enabled
+        self.trace_operators = self.trace and trace_operators
+        self.tracer = Tracer(capacity=ring, on_span_end=self.on_span_end)
+
+    # -- installation ------------------------------------------------------------------
+
+    def install(self) -> "Observability":
+        """Publish this instance to the process-wide runtime slot."""
+        return runtime.install(self)
+
+    def uninstall(self) -> None:
+        """Withdraw this instance (no-op if another one is installed)."""
+        runtime.uninstall(self)
+
+    @property
+    def installed(self) -> bool:
+        return runtime.ACTIVE is self
+
+    def __enter__(self) -> "Observability":
+        return self.install()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.uninstall()
+
+    # -- span bridge -------------------------------------------------------------------
+
+    def on_span_end(self, span: Span) -> None:
+        """Feed one finished span into metrics and (maybe) the auditor."""
+        name = span.name
+        metrics = self.metrics
+        if name == "maintain":
+            view = str(span.attrs.get("view", "?"))
+            engine = str(span.attrs.get("engine", "?"))
+            metrics.inc("view_maintained_total", view=view, engine=engine)
+            metrics.observe(
+                "view_maintain_seconds", span.duration, view=view, engine=engine
+            )
+            self.auditor.check_span(span)
+        elif name == "delta":
+            operator = str(span.attrs.get("operator", "?"))
+            engine = str(span.attrs.get("engine", "?"))
+            metrics.inc(
+                "operator_invocations_total", operator=operator, engine=engine
+            )
+            rows = span.attrs.get("rows")
+            if rows:
+                metrics.inc(
+                    "operator_delta_rows_total",
+                    rows,
+                    operator=operator,
+                    engine=engine,
+                )
+        elif name == "append":
+            group = str(span.attrs.get("group", "?"))
+            metrics.inc("append_events_total", group=group)
+            metrics.observe("append_seconds", span.duration, group=group)
+            for event, amount in span.counters.items():
+                metrics.inc(f"cost_{event}_total", amount, group=group)
+
+    # -- snapshots ---------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A one-call dict of everything: metrics, audit, trace status."""
+        return {
+            "metrics": self.metrics.as_dict(),
+            "audit": self.auditor.summary(),
+            "traces": {
+                "completed": self.tracer.completed_count,
+                "buffered": len(self.tracer.traces()),
+                "capacity": self.tracer.capacity,
+            },
+        }
+
+    def __repr__(self) -> str:
+        state = "installed" if self.installed else "idle"
+        return (
+            f"Observability({state}, trace={self.trace}, "
+            f"operators={self.trace_operators}, audit={self.auditor.mode!r})"
+        )

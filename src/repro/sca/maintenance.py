@@ -15,6 +15,7 @@ from typing import Callable, Dict, Iterable, Mapping, Tuple
 
 from ..core.delta import Delta
 from ..core.group import ChronicleGroup
+from ..obs import runtime as obs_runtime
 from ..relational.tuples import Row
 from .view import PersistentView
 
@@ -51,7 +52,15 @@ def attach_view(
 
     def listener(event_group: ChronicleGroup, event: Dict[str, Tuple[Row, ...]]) -> None:
         deltas = event_deltas(event_group, event)
-        if deltas:
+        if not deltas:
+            return
+        obs = obs_runtime.ACTIVE
+        if obs is not None and obs.trace:
+            with obs.tracer.span(
+                "maintain", view=view.name, engine="interpreted"
+            ) as span:
+                span.attrs["rows"] = view.apply_event(deltas)
+        else:
             view.apply_event(deltas)
 
     group.subscribe(listener)
@@ -76,7 +85,17 @@ def attach_compiled_view(
 
     def listener(event_group: ChronicleGroup, event: Dict[str, Tuple[Row, ...]]) -> None:
         deltas = event_deltas(event_group, event)
-        if deltas:
+        if not deltas:
+            return
+        obs = obs_runtime.ACTIVE
+        if obs is not None and obs.trace:
+            with obs.tracer.span(
+                "maintain", view=view.name, engine="compiled"
+            ) as span:
+                with maintenance_guard():
+                    delta = plan(deltas)
+                span.attrs["rows"] = view.apply_delta(delta)
+        else:
             with maintenance_guard():
                 delta = plan(deltas)
             view.apply_delta(delta)

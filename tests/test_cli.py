@@ -128,6 +128,70 @@ class TestViewsAndQueries:
             session.execute("FROBNICATE everything")
 
 
+class TestObservabilityStatements:
+    def _load(self, session):
+        session.execute(
+            "DEFINE VIEW usage AS SELECT caller, SUM(minutes) AS total "
+            "FROM calls GROUP BY caller"
+        )
+        session.execute('APPEND calls {"caller": 7, "minutes": 5}')
+        session.execute('APPEND calls {"caller": 7, "minutes": 3}')
+
+    def test_show_stats_sections(self, session):
+        self._load(session)
+        out = session.execute("SHOW STATS")
+        assert "== registry ==" in out
+        assert "== audit ==" in out
+        assert "== metrics ==" in out
+        assert "maintained_views: 2" in out
+        assert "violations: 0" in out
+        assert "append_events_total{group=default} 2" in out
+        assert "view_maintained_total{engine=compiled,view=usage} 2" in out
+
+    def test_show_stats_before_any_event(self, session):
+        out = session.execute("SHOW STATS")
+        assert "(no metrics recorded yet)" in out
+
+    def test_trace_renders_span_tree(self, session):
+        self._load(session)
+        out = session.execute("TRACE 2")
+        assert out.count("append [") == 2
+        assert "maintain [view=usage engine=compiled" in out
+        assert "delta [operator=" in out
+        # The no-access rule holds: no chronicle_read in any counter diff.
+        assert "chronicle_read" not in out
+
+    def test_trace_defaults_to_one(self, session):
+        self._load(session)
+        out = session.execute("TRACE")
+        assert out.count("append [") == 1
+
+    def test_trace_before_any_event(self, session):
+        assert "no traces" in session.execute("TRACE 5")
+
+    def test_trace_bad_count(self, session):
+        with pytest.raises(CliError):
+            session.execute("TRACE zero")
+        with pytest.raises(CliError):
+            session.execute("TRACE 0")
+        with pytest.raises(CliError):
+            session.execute("TRACE 1 2")
+
+    def test_observe_false_disables_commands(self):
+        s = Session(observe=False)
+        s.execute("CREATE CHRONICLE calls (caller INT) RETENTION 0")
+        with pytest.raises(CliError):
+            s.execute("SHOW STATS")
+        with pytest.raises(CliError):
+            s.execute("TRACE 1")
+
+    def test_observability_does_not_leak_between_statements(self, session):
+        from repro.obs import runtime as obs_runtime
+
+        self._load(session)
+        assert obs_runtime.ACTIVE is None
+
+
 class TestCheckpointStatements:
     def test_checkpoint_restore(self, tmp_path, session):
         session.execute(
