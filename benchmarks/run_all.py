@@ -25,6 +25,7 @@ MODULES = [
     "bench_e9_view_filtering",
     "bench_e10_batch_incremental",
     "bench_e11_throughput",
+    "bench_e13_conformance",
     "bench_a1_ablations",
 ]
 

@@ -16,15 +16,23 @@ commands::
     SHOW CATALOG;
     SHOW STATS;
     TRACE 3;
+    CERTIFY usage;
+    SERVE METRICS 9464;
+    SERVE STOP;
     CHECKPOINT /tmp/db.ckpt;
     RESTORE /tmp/db.ckpt;
 
 ``SHOW STATS`` prints the registry routing statistics and the metrics
 snapshot; ``TRACE n`` prints the last *n* append traces (span trees with
-wall time and cost-counter diffs).  A session keeps its own
-:class:`~repro.obs.Observability` handle and installs it only for the
-duration of each statement, so CLI instrumentation never leaks into the
-rest of the process.
+wall time and cost-counter diffs).  ``CERTIFY view`` runs the empirical
+conformance sweeps of :mod:`repro.obs.conformance` against the view —
+note this appends synthesized drive records to the view's chronicle —
+and prints the certificate.  ``SERVE METRICS port`` starts the live
+HTTP exporter (``/metrics``, ``/certificates``, ``/snapshot``; port 0
+picks an ephemeral port); ``SERVE STOP`` stops it.  A session keeps its
+own :class:`~repro.obs.Observability` handle and installs it only for
+the duration of each statement, so CLI instrumentation never leaks into
+the rest of the process.
 
 Records are JSON objects.  The module is import-safe: :class:`Session`
 executes statements and returns text, so tests drive it directly.
@@ -137,6 +145,10 @@ class Session:
             return self._show(words)
         if head == "TRACE":
             return self._trace(words)
+        if head == "CERTIFY":
+            return self._certify(words)
+        if head == "SERVE":
+            return self._serve(words)
         if head == "CHECKPOINT":
             self.db.checkpoint(self._path_arg(words, "CHECKPOINT"))
             return "checkpoint written"
@@ -250,9 +262,18 @@ class Session:
 
     def _show_stats(self) -> str:
         obs = self._observability()
+        stats = self.db.registry.stats
+        per_view = stats.pop("per_view", None)
         lines = ["== registry =="]
-        for key, value in sorted(self.db.registry.stats.items()):
+        for key, value in sorted(stats.items()):
             lines.append(f"  {key}: {value}")
+        if per_view:
+            lines.append("== views ==")
+            for name, values in sorted(per_view.items()):
+                lines.append(
+                    f"  {name}: {values['spans']} maintain spans, "
+                    f"last append {values['last_append_seconds'] * 1e6:,.0f}us"
+                )
         lines.append("== audit ==")
         for key, value in sorted(obs.auditor.summary().items()):
             lines.append(f"  {key}: {value}")
@@ -288,6 +309,37 @@ class Session:
         if not traces:
             return "  (no traces recorded yet)"
         return "\n".join(span.format(indent=1) for span in traces)
+
+    def _certify(self, words: List[str]) -> str:
+        self._observability()  # certificates need a handle to land on
+        if len(words) != 2:
+            raise CliError("CERTIFY: expected CERTIFY view")
+        # The REPL favors snappy over asymptotic: a 4x-per-step sweep up
+        # to 2k records still separates constant from linear cleanly.
+        certificate = self.db.certify_view(
+            words[1], samples=3, c_sizes=(128, 512, 2_048), r_sizes=(128, 512, 2_048)
+        )
+        return certificate.format()
+
+    def _serve(self, words: List[str]) -> str:
+        obs = self._observability()
+        target = words[1].upper() if len(words) > 1 else ""
+        if target == "METRICS":
+            if len(words) != 3:
+                raise CliError("SERVE: expected SERVE METRICS port")
+            try:
+                port = int(words[2])
+            except ValueError:
+                raise CliError(f"SERVE: bad port {words[2]!r}") from None
+            server = obs.serve(port=port)
+            return f"serving metrics at {server.url}/metrics"
+        if target == "STOP":
+            if obs.server is None:
+                return "no metrics server running"
+            port = obs.server.port
+            obs.stop_serving()
+            return f"metrics server on port {port} stopped"
+        raise CliError("SERVE: expected SERVE METRICS port | SERVE STOP")
 
     # -- statement splitting ----------------------------------------------------------
 

@@ -1,17 +1,31 @@
 """Measurement kit: cost counters, sweep harness, complexity fitting."""
 
 from .counters import GLOBAL_COUNTERS, CostCounters
-from .fitting import Fit, FitResult, fit_series, growth_ratio, is_flat
+from .fitting import (
+    Fit,
+    FitResult,
+    GrowthClass,
+    classify_growth,
+    fit_series,
+    growth_ratio,
+    is_flat,
+    mad,
+    median,
+)
 from .harness import Measurement, Sweep, format_table, measure, report
 
 __all__ = [
     "CostCounters",
     "GLOBAL_COUNTERS",
+    "classify_growth",
     "fit_series",
     "Fit",
     "FitResult",
+    "GrowthClass",
     "growth_ratio",
     "is_flat",
+    "mad",
+    "median",
     "Sweep",
     "Measurement",
     "measure",

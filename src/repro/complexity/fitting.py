@@ -122,6 +122,77 @@ def fit_series(
     raise AssertionError("model selection failed")
 
 
+def median(values: Sequence[float]) -> float:
+    """The sample median (average-of-two for even lengths)."""
+    if not values:
+        raise ValueError("median of an empty sequence")
+    ordered = sorted(float(v) for v in values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def mad(values: Sequence[float]) -> float:
+    """Median absolute deviation — the robust spread estimate.
+
+    Unlike the standard deviation, one wild outlier (a GC pause, a
+    background process stealing the core) barely moves it, which is what
+    noise-aware benchmark gating needs.
+    """
+    center = median(values)
+    return median([abs(float(v) - center) for v in values])
+
+
+class GrowthClass(NamedTuple):
+    """Verdict of :func:`classify_growth`: model plus the evidence."""
+
+    model: str
+    fit: Fit
+    flat: bool  # passed the normalized-deviation flatness test
+
+
+def classify_growth(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    flat_slack: float = 0.25,
+    models: Sequence[str] = MODEL_ORDER,
+    tolerance: float = 0.15,
+) -> GrowthClass:
+    """Classify a measured series, biased toward calling flat data flat.
+
+    Pure least squares struggles to discriminate "constant" from "log"
+    on short noisy series: over a 100x range of x, log2(x) spans only a
+    factor of ~7, so a log model with a tiny slope beats the constant
+    model on almost any jitter.  This wrapper applies the robust
+    flatness test first — if every point sits within ``flat_slack`` of
+    the series median, the series is declared constant regardless of
+    which basis function happens to chase the noise best — and falls
+    back to :func:`fit_series` model selection otherwise.
+
+    The conformance profiler (:mod:`repro.obs.conformance`) uses this to
+    turn per-append cost sweeps into IM-class verdicts.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    center = median(ys)
+    scale = max(abs(center), 1e-12)
+    flat = all(abs(float(y) - center) <= flat_slack * scale for y in ys)
+    if flat and all(y == ys[0] for y in ys):
+        # Exactly flat: skip the regression entirely.
+        value = float(ys[0])
+        return GrowthClass("constant", Fit("constant", value, 0.0, 0.0, 1.0), True)
+    result = fit_series(xs, ys, models=models, tolerance=tolerance)
+    if flat:
+        constant = result.fits.get("constant")
+        if constant is None:
+            constant = _fit_model(
+                "constant", np.asarray(xs, dtype=float), np.asarray(ys, dtype=float)
+            )
+        return GrowthClass("constant", constant, True)
+    return GrowthClass(result.model, result.best, False)
+
+
 def growth_ratio(xs: Sequence[float], ys: Sequence[float]) -> float:
     """y[last]/y[first] normalized by x growth — a quick flatness check.
 

@@ -130,6 +130,42 @@ class ChronicleDatabase:
         if self._observability is not None:
             self._observability.uninstall()
 
+    def certify_view(self, name: str, samples: int = 5, **sweep: Any) -> Any:
+        """Run a conformance sweep against one registered view.
+
+        Builds a :class:`~repro.obs.conformance.ConformanceProfiler`,
+        drives the scaling sweeps (which **append drive records** to the
+        view's chronicle — use a scratch database), and returns the
+        :class:`~repro.obs.conformance.ConformanceCertificate`.  The
+        certificate is also published on this database's observability
+        handle (when one exists), where the ``/certificates`` HTTP route
+        serves it.  Extra keyword arguments go to
+        :meth:`~repro.obs.conformance.ConformanceProfiler.certify`
+        (``c_sizes``, ``r_sizes``, ``u_sizes``, ``record_factory``, …).
+        """
+        from ..obs.conformance import ConformanceProfiler
+
+        return ConformanceProfiler(self, samples=samples).certify(name, **sweep)
+
+    def certify_views(self, samples: int = 5, **sweep: Any) -> Dict[str, Any]:
+        """Certify every registered view; returns name → certificate."""
+        from ..obs.conformance import ConformanceProfiler
+
+        return ConformanceProfiler(self, samples=samples).certify_all(**sweep)
+
+    def serve_metrics(self, port: int = 0, host: str = "127.0.0.1") -> Any:
+        """Start the live HTTP exporter for this database's observability.
+
+        Enables observability (installing it) if it is not enabled yet,
+        then serves ``/metrics`` (Prometheus text), ``/certificates``,
+        and ``/snapshot`` on *port* (0 = ephemeral).  Returns the
+        :class:`~repro.obs.exporters.MetricsServer`.
+        """
+        obs = self._observability
+        if obs is None:
+            obs = self.enable_observability()
+        return obs.serve(port=port, host=host)
+
     # -- catalog --------------------------------------------------------------------
 
     def create_group(

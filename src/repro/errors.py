@@ -178,6 +178,15 @@ class MaintenanceAuditError(ObservabilityError):
     """
 
 
+class ConformanceError(ObservabilityError):
+    """A conformance sweep could not be measured.
+
+    Raised when the profiler cannot observe a view's maintenance — e.g.
+    the driver records never pass the view's prefilter, so no
+    ``maintain`` span is produced to measure.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Query language errors
 # ---------------------------------------------------------------------------

@@ -30,6 +30,13 @@ Quickstart::
 
 from .auditor import AuditViolation, AuditWarning, Auditor
 from .core import Observability
+from .exporters import (
+    AttributionNode,
+    JsonlSpanSink,
+    MetricsServer,
+    attribution_tree,
+    format_attribution,
+)
 from .metrics import (
     Counter,
     DEFAULT_LATENCY_BUCKETS,
@@ -40,17 +47,47 @@ from .metrics import (
 from .runtime import get as get_observability
 from .tracer import Span, Tracer
 
+#: Conformance symbols are loaded lazily (PEP 562): this package is
+#: imported by the core hot-path modules for the runtime slot, and the
+#: profiler imports the algebra layer — an eager import would cycle.
+_CONFORMANCE_EXPORTS = (
+    "ConformanceCertificate",
+    "ConformanceProfiler",
+    "SweepVerdict",
+    "certify_expression",
+    "schema_record_factory",
+)
+
+
+def __getattr__(name: str):
+    if name in _CONFORMANCE_EXPORTS:
+        from . import conformance
+
+        return getattr(conformance, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "AttributionNode",
     "AuditViolation",
     "AuditWarning",
     "Auditor",
+    "ConformanceCertificate",
+    "ConformanceProfiler",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
     "Gauge",
     "Histogram",
+    "JsonlSpanSink",
     "MetricsRegistry",
+    "MetricsServer",
     "Observability",
     "Span",
+    "SweepVerdict",
     "Tracer",
+    "attribution_tree",
+    "certify_expression",
+    "format_attribution",
     "get_observability",
+    "schema_record_factory",
 ]

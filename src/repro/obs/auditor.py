@@ -142,6 +142,16 @@ class Auditor:
                 "audit_violations_total",
                 rule=violation.rule,
             )
+            # Per-view face of the same signal: lets a dashboard alert on
+            # *which* view misbehaved (and in what mode), not just how
+            # often some rule fired.  Warn-mode violations would
+            # otherwise be invisible to a /metrics scrape that doesn't
+            # know the rule names.
+            self.metrics.inc(
+                "auditor_violations_total",
+                view=str(violation.attrs.get("view", "?")),
+                mode=self.mode,
+            )
         if self.mode == "raise":
             raise MaintenanceAuditError(violation.describe())
         warnings.warn(violation.describe(), AuditWarning, stacklevel=4)

@@ -30,8 +30,9 @@ Span names are the contract between the hooks and this bridge:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
+from ..errors import ObservabilityError
 from . import runtime
 from .auditor import Auditor
 from .metrics import MetricsRegistry
@@ -73,6 +74,12 @@ class Observability:
         self.trace = bool(trace) or self.auditor.enabled
         self.trace_operators = self.trace and trace_operators
         self.tracer = Tracer(capacity=ring, on_span_end=self.on_span_end)
+        #: Conformance certificates by view name (JSON-ready dicts),
+        #: published by :class:`~repro.obs.conformance.ConformanceProfiler`
+        #: and served on the ``/certificates`` HTTP route.
+        self.certificates: Dict[str, Dict[str, Any]] = {}
+        self._span_listeners: List[Callable[[Span], None]] = []
+        self._server: Optional[Any] = None
 
     # -- installation ------------------------------------------------------------------
 
@@ -93,6 +100,45 @@ class Observability:
 
     def __exit__(self, *exc_info: Any) -> None:
         self.uninstall()
+
+    # -- exporters ---------------------------------------------------------------------
+
+    def add_span_listener(self, listener: Callable[[Span], None]) -> None:
+        """Register a callback fed every finished span (after metrics).
+
+        :class:`~repro.obs.exporters.JsonlSpanSink` is the canonical
+        listener: it ignores non-root spans and streams each completed
+        trace to disk.  Listener exceptions propagate — a broken sink on
+        the append path should be loud, not silent.
+        """
+        self._span_listeners.append(listener)
+
+    def remove_span_listener(self, listener: Callable[[Span], None]) -> None:
+        if listener in self._span_listeners:
+            self._span_listeners.remove(listener)
+
+    @property
+    def server(self) -> Optional[Any]:
+        """The running :class:`~repro.obs.exporters.MetricsServer`, if any."""
+        return self._server
+
+    def serve(self, port: int = 0, host: str = "127.0.0.1") -> Any:
+        """Start the HTTP exporter (``/metrics``, ``/certificates``,
+        ``/snapshot``) on *port* (0 = ephemeral); returns the server."""
+        from .exporters import MetricsServer
+
+        if self._server is not None:
+            raise ObservabilityError(
+                f"metrics server already running on port {self._server.port}"
+            )
+        self._server = MetricsServer(self, port=port, host=host).start()
+        return self._server
+
+    def stop_serving(self) -> None:
+        """Stop the HTTP exporter (no-op when not serving)."""
+        if self._server is not None:
+            self._server.stop()
+            self._server = None
 
     # -- span bridge -------------------------------------------------------------------
 
@@ -128,6 +174,8 @@ class Observability:
             metrics.observe("append_seconds", span.duration, group=group)
             for event, amount in span.counters.items():
                 metrics.inc(f"cost_{event}_total", amount, group=group)
+        for listener in self._span_listeners:
+            listener(span)
 
     # -- snapshots ---------------------------------------------------------------------
 
@@ -140,6 +188,10 @@ class Observability:
                 "completed": self.tracer.completed_count,
                 "buffered": len(self.tracer.traces()),
                 "capacity": self.tracer.capacity,
+            },
+            "certificates": {
+                name: cert.get("conformant")
+                for name, cert in sorted(self.certificates.items())
             },
         }
 

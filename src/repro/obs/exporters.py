@@ -1,0 +1,321 @@
+"""Live exporters: HTTP metrics endpoint, JSONL span streams, flame trees.
+
+Three ways out of the process for the observability layer's data, all
+stdlib-only:
+
+* :class:`MetricsServer` — a tiny :mod:`http.server` daemon exposing
+
+  - ``/metrics`` — the Prometheus text exposition format
+    (``text/plain; version=0.0.4``), straight from
+    :meth:`~repro.obs.metrics.MetricsRegistry.to_prometheus`;
+  - ``/certificates`` — the conformance certificates
+    (:mod:`repro.obs.conformance`) as JSON;
+  - ``/snapshot`` — the full :meth:`~repro.obs.core.Observability
+    .snapshot` as JSON.
+
+  Bind port 0 for an ephemeral port (tests do); the bound port is
+  available as :attr:`MetricsServer.port` after :meth:`start`.
+
+* :class:`JsonlSpanSink` — streams every completed trace (root span
+  tree) to a JSON-lines file as it finishes, with size-based rotation
+  (``spans.jsonl`` → ``spans.jsonl.1`` → …).  Attach with
+  :meth:`~repro.obs.core.Observability.add_span_listener`; unlike
+  :meth:`~repro.obs.tracer.Tracer.export_jsonl` this is not bounded by
+  the ring buffer — it sees every trace, live.
+
+* :func:`attribution_tree` / :func:`format_attribution` — a flame-style
+  cost-attribution tree: spans from many traces aggregated by position
+  (``append → maintain view=v0 → delta op=Select``), each node carrying
+  total wall time and summed cost counters, rendered as an indented
+  text tree with percent-of-root annotations.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ObservabilityError
+from .tracer import Span
+
+#: Attributes that identify a span within its parent (other attrs —
+#: row counts, skip counts — are measurements, not identity).
+_IDENTITY_ATTRS = ("view", "operator", "engine", "group", "chronicle")
+
+
+# ---------------------------------------------------------------------------
+# HTTP endpoint
+# ---------------------------------------------------------------------------
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    """Routes GETs to the owning server's observability handle."""
+
+    server: "MetricsServer"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        obs = self.server.observability
+        if path == "/metrics":
+            body = obs.metrics.to_prometheus().encode("utf-8")
+            self._reply(200, "text/plain; version=0.0.4; charset=utf-8", body)
+        elif path == "/certificates":
+            body = json.dumps(obs.certificates, sort_keys=True, indent=2).encode(
+                "utf-8"
+            )
+            self._reply(200, "application/json", body)
+        elif path == "/snapshot":
+            body = json.dumps(obs.snapshot(), sort_keys=True, indent=2).encode("utf-8")
+            self._reply(200, "application/json", body)
+        else:
+            self._reply(404, "text/plain; charset=utf-8", b"not found\n")
+
+    def _reply(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        # Scrapes every few seconds would otherwise spam stderr.
+        pass
+
+
+class MetricsServer(ThreadingHTTPServer):
+    """A daemon-threaded HTTP server over one observability handle.
+
+    Usage::
+
+        server = MetricsServer(obs, port=9464).start()
+        ...                       # curl localhost:9464/metrics
+        server.stop()
+
+    The listening socket binds in ``__init__`` (so :attr:`port` is real
+    immediately, even with ``port=0``); :meth:`start` launches the
+    serving thread.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self, observability: Any, port: int = 0, host: str = "127.0.0.1"
+    ) -> None:
+        self.observability = observability
+        self._thread: Optional[threading.Thread] = None
+        super().__init__((host, port), _MetricsHandler)
+
+    @property
+    def port(self) -> int:
+        return int(self.server_address[1])
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.server_address[0]}:{self.port}"
+
+    def start(self) -> "MetricsServer":
+        if self._thread is not None:
+            raise ObservabilityError("metrics server already started")
+        self._thread = threading.Thread(
+            target=self.serve_forever,
+            name=f"repro-metrics-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self.shutdown()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        self.server_close()
+
+
+# ---------------------------------------------------------------------------
+# JSONL span streaming
+# ---------------------------------------------------------------------------
+
+
+class JsonlSpanSink:
+    """Streams completed traces to a rotating JSON-lines file.
+
+    A span listener (for :meth:`~repro.obs.core.Observability
+    .add_span_listener`): called with every finished span, it writes the
+    **root** spans — whole trace trees — one JSON object per line.  When
+    the current file would exceed *max_bytes* it is rotated aside
+    (``path`` → ``path.1`` → ``path.2`` …, oldest dropped beyond
+    *max_files* rotated files), so a long-running process keeps a
+    bounded window of recent traces on disk.
+    """
+
+    def __init__(
+        self, path: str, max_bytes: int = 1_000_000, max_files: int = 3
+    ) -> None:
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        if max_files < 0:
+            raise ValueError("max_files must be >= 0")
+        self.path = path
+        self.max_bytes = max_bytes
+        self.max_files = max_files
+        self.written = 0  # traces written over the sink's lifetime
+        self.rotations = 0
+        self._lock = threading.Lock()
+        self._size = os.path.getsize(path) if os.path.exists(path) else 0
+        self._handle = open(path, "a")
+
+    def __call__(self, span: Span) -> None:
+        if not span.is_root:
+            return
+        line = json.dumps(span.to_dict(), sort_keys=True) + "\n"
+        with self._lock:
+            if self._size and self._size + len(line) > self.max_bytes:
+                self._rotate()
+            self._handle.write(line)
+            self._handle.flush()
+            self._size += len(line)
+            self.written += 1
+
+    def _rotate(self) -> None:
+        self._handle.close()
+        # Shift path.N-1 → path.N from the oldest down, then path → path.1.
+        oldest = f"{self.path}.{self.max_files}"
+        if os.path.exists(oldest):
+            os.remove(oldest)
+        for n in range(self.max_files - 1, 0, -1):
+            src = f"{self.path}.{n}"
+            if os.path.exists(src):
+                os.replace(src, f"{self.path}.{n + 1}")
+        if self.max_files:
+            os.replace(self.path, f"{self.path}.1")
+        else:
+            os.remove(self.path)
+        self._handle = open(self.path, "a")
+        self._size = 0
+        self.rotations += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+
+# ---------------------------------------------------------------------------
+# Flame-style cost attribution
+# ---------------------------------------------------------------------------
+
+
+class AttributionNode:
+    """Aggregate of every span sharing one position in the trace tree."""
+
+    __slots__ = ("label", "count", "seconds", "counters", "children")
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self.count = 0
+        self.seconds = 0.0
+        self.counters: Dict[str, int] = {}
+        self.children: Dict[str, "AttributionNode"] = {}
+
+    def add(self, span: Span) -> None:
+        self.count += 1
+        self.seconds += span.duration
+        for event, amount in span.counters.items():
+            self.counters[event] = self.counters.get(event, 0) + amount
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "label": self.label,
+            "count": self.count,
+            "seconds": self.seconds,
+        }
+        if self.counters:
+            out["counters"] = dict(self.counters)
+        if self.children:
+            out["children"] = [
+                child.to_dict() for child in self.children.values()
+            ]
+        return out
+
+
+def _span_label(span: Span) -> str:
+    parts = [span.name]
+    for attr in _IDENTITY_ATTRS:
+        value = span.attrs.get(attr)
+        if value is not None:
+            parts.append(f"{attr}={value}")
+    return " ".join(parts)
+
+
+def attribution_tree(traces: Sequence[Span]) -> AttributionNode:
+    """Aggregate many traces into one position-keyed cost tree.
+
+    Spans merge when their path of (name + identity attrs) labels from
+    the root matches — all ``maintain view=v0`` spans across all traces
+    become one node, its counters and wall time summed.  Pass
+    ``tracer.traces()`` (or any list of root spans).
+    """
+    root = AttributionNode("total")
+    for trace in traces:
+        _merge(root, trace)
+    return root
+
+
+def _merge(parent: AttributionNode, span: Span) -> None:
+    label = _span_label(span)
+    node = parent.children.get(label)
+    if node is None:
+        node = parent.children[label] = AttributionNode(label)
+    node.add(span)
+    for child in span.children:
+        _merge(node, child)
+
+
+def format_attribution(
+    traces: Sequence[Span], counter: Optional[str] = None
+) -> str:
+    """Render the attribution tree as indented text, heaviest first.
+
+    Each line shows the position label, its share of the root's cost
+    (wall time by default, or one counter event via *counter*), the
+    absolute amount, and the span count — a text flame graph::
+
+        append group=default              100.0%  12,340us  n=100
+          maintain view=balance engine=compiled   62.1% ...
+            delta operator=Select engine=compiled ...
+
+    A parent's cost includes its children's (scopes nest additively),
+    so sibling percentages sum to at most their parent's.
+    """
+    root = attribution_tree(traces)
+    if not root.children:
+        return "(no traces)"
+
+    def cost(node: AttributionNode) -> float:
+        if counter is None:
+            return node.seconds
+        return float(node.counters.get(counter, 0))
+
+    total = sum(cost(child) for child in root.children.values()) or 1.0
+    unit = counter if counter is not None else "us"
+    lines: List[str] = []
+
+    def render(node: AttributionNode, indent: int) -> None:
+        amount = cost(node)
+        value = amount * 1e6 if counter is None else amount
+        lines.append(
+            "  " * indent
+            + f"{node.label}  {100.0 * amount / total:.1f}%  "
+            + f"{value:,.0f}{unit}  n={node.count}"
+        )
+        for child in sorted(node.children.values(), key=cost, reverse=True):
+            render(child, indent + 1)
+
+    for child in sorted(root.children.values(), key=cost, reverse=True):
+        render(child, 0)
+    return "\n".join(lines)

@@ -70,3 +70,20 @@ def installed(obs: "Observability") -> Iterator["Observability"]:
         yield obs
     finally:
         ACTIVE = previous
+
+
+@contextmanager
+def suspended() -> Iterator[None]:
+    """Temporarily disable observability (bulk preloads, setup code).
+
+    Whatever instance was active is restored on exit; used by the
+    conformance profiler so sweep preloads don't pay tracing overhead or
+    pollute the measurement handle's metrics.
+    """
+    global ACTIVE
+    previous = ACTIVE
+    ACTIVE = None
+    try:
+        yield
+    finally:
+        ACTIVE = previous

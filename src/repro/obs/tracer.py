@@ -76,6 +76,11 @@ class Span:
 
     # -- structure helpers ---------------------------------------------------------
 
+    @property
+    def is_root(self) -> bool:
+        """Whether this span is a trace root (no enclosing span)."""
+        return self._is_root
+
     def walk(self) -> Iterator["Span"]:
         """This span and every descendant, depth-first."""
         yield self

@@ -21,7 +21,7 @@ Section 5.2).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
 
 from ..algebra.ast import ChronicleScan, Node, Select
 from ..algebra.plan import CompiledPlan, PlanCompiler, compile_prefilter
@@ -161,6 +161,10 @@ class ViewRegistry:
             "compiled_maintained": 0,
             "interpreted_maintained": 0,
         }
+        # Per-view maintenance observations (span count + last append
+        # latency), populated only while observability is installed —
+        # the numbers come from the ``maintain`` spans.
+        self._per_view: Dict[str, Dict[str, float]] = {}
         self._compiler: Optional[PlanCompiler] = PlanCompiler() if compile else None
         self._plans_stale = False
 
@@ -231,7 +235,7 @@ class ViewRegistry:
         return len(self._views) + len(self._periodic)
 
     @property
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, Any]:
         """Routing statistics for every event seen by this registry.
 
         Keys: ``events``, ``candidate_views``, ``maintained_views``,
@@ -242,8 +246,19 @@ class ViewRegistry:
         metrics (``view_prefilter_total{outcome}``,
         ``view_maintained_total{engine}``) when observability is
         installed.
+
+        While observability is installed (either engine), a ``per_view``
+        key is added: ``{view: {"spans": n, "last_append_seconds": s}}``
+        from that view's ``maintain`` spans — absent entirely when no
+        span was ever observed, so uninstrumented runs see the original
+        flat shape.
         """
-        return dict(self._stats)
+        out: Dict[str, Any] = dict(self._stats)
+        if self._per_view:
+            out["per_view"] = {
+                name: dict(values) for name, values in self._per_view.items()
+            }
+        return out
 
     # -- compilation --------------------------------------------------------------------
 
@@ -362,6 +377,15 @@ class ViewRegistry:
             finally:
                 if span is not None:
                     tracer.finish(span)
+            if span is not None:
+                per_view = self._per_view.get(registered.view.name)
+                if per_view is None:
+                    per_view = self._per_view[registered.view.name] = {
+                        "spans": 0,
+                        "last_append_seconds": 0.0,
+                    }
+                per_view["spans"] += 1
+                per_view["last_append_seconds"] = span.duration
             stats[
                 "compiled_maintained" if plan is not None else "interpreted_maintained"
             ] += 1

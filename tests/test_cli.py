@@ -241,3 +241,53 @@ class TestScripts:
         assert failures == 1
         assert "error:" in out.getvalue()
         assert "created" in out.getvalue()
+
+
+class TestConformanceStatements:
+    def _define(self, session):
+        session.execute(
+            "DEFINE VIEW usage AS SELECT caller, SUM(minutes) AS total "
+            "FROM calls GROUP BY caller"
+        )
+
+    def test_certify_prints_certificate(self, session):
+        self._define(session)
+        out = session.execute("CERTIFY usage")
+        assert "conformance certificate: view 'usage'" in out
+        assert "IM-Constant" in out
+        assert "|C| work: fitted constant" in out
+        assert "verdict: CONFORMANT" in out
+        # The certificate also lands on the session's handle, where the
+        # /certificates route would serve it.
+        assert "usage" in session.db.observability.certificates
+
+    def test_certify_requires_view_name(self, session):
+        with pytest.raises(CliError, match="CERTIFY"):
+            session.execute("CERTIFY")
+
+    def test_serve_metrics_and_stop(self, session):
+        self._define(session)
+        session.execute('APPEND calls {"caller": 1, "minutes": 5}')
+        out = session.execute("SERVE METRICS 0")
+        assert "serving metrics at http://127.0.0.1:" in out
+        import urllib.request
+
+        url = out.split("serving metrics at ")[1].strip()
+        body = urllib.request.urlopen(url, timeout=5).read().decode()
+        assert "append_events_total" in body
+        stopped = session.execute("SERVE STOP")
+        assert "stopped" in stopped
+        assert session.execute("SERVE STOP") == "no metrics server running"
+
+    def test_serve_bad_arguments(self, session):
+        with pytest.raises(CliError, match="SERVE"):
+            session.execute("SERVE")
+        with pytest.raises(CliError, match="bad port"):
+            session.execute("SERVE METRICS nope")
+
+    def test_show_stats_renders_per_view_latency(self, session):
+        self._define(session)
+        session.execute('APPEND calls {"caller": 1, "minutes": 5}')
+        out = session.execute("SHOW STATS")
+        assert "== views ==" in out
+        assert "usage: 1 maintain spans, last append" in out

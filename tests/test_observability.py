@@ -553,3 +553,82 @@ class TestDisabledMode:
             db.append("calls", {"caller": 1, "minutes": 5})
         assert GLOBAL_COUNTERS._scopes == 0
         assert getattr(GLOBAL_COUNTERS._local, "stack", []) == []
+
+
+# ---------------------------------------------------------------------------
+# Satellites: per-view audit counter, per-view registry stats
+# ---------------------------------------------------------------------------
+
+
+class TestAuditorViolationsMetric:
+    def test_warn_mode_violation_shows_in_metrics_by_view(self):
+        """Warn-mode failures must be scrapeable, labeled by view and mode."""
+        db = make_db()
+        view = db.view("usage")
+        original = view.apply_delta
+
+        def leaky(delta):
+            GLOBAL_COUNTERS.count("chronicle_read")
+            return original(delta)
+
+        view.apply_delta = leaky
+        with db.enable_observability(audit="warn"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", AuditWarning)
+                db.append("calls", {"caller": 1, "minutes": 5})
+                db.append("calls", {"caller": 2, "minutes": 3})
+            metrics = db.observability.metrics
+            assert metrics.value("auditor_violations_total", view="usage", mode="warn") == 2
+            # The per-rule counter keeps its original shape alongside.
+            assert metrics.value("audit_violations_total", rule="no-chronicle-access") == 2
+            prometheus = metrics.to_prometheus()
+        assert 'auditor_violations_total{mode="warn",view="usage"} 2' in prometheus
+
+    def test_clean_run_emits_no_violation_series(self):
+        db = make_db()
+        with db.enable_observability(audit="warn"):
+            db.append("calls", {"caller": 1, "minutes": 5})
+            assert db.observability.metrics.value(
+                "auditor_violations_total", view="usage", mode="warn"
+            ) is None
+
+
+class TestPerViewRegistryStats:
+    def test_stats_gain_per_view_under_observability(self):
+        db = make_db()
+        db.define_view(
+            "DEFINE VIEW talkers AS SELECT caller, COUNT(*) AS n "
+            "FROM calls GROUP BY caller"
+        )
+        assert "per_view" not in db.registry.stats  # nothing observed yet
+        with db.enable_observability(audit="off"):
+            db.append("calls", {"caller": 1, "minutes": 5})
+            db.append("calls", {"caller": 1, "minutes": 2})
+        per_view = db.registry.stats["per_view"]
+        assert per_view["usage"]["spans"] == 2
+        assert per_view["talkers"]["spans"] == 2
+        assert per_view["usage"]["last_append_seconds"] > 0.0
+
+    def test_uninstrumented_appends_do_not_count(self):
+        db = make_db()
+        db.append("calls", {"caller": 1, "minutes": 5})
+        assert "per_view" not in db.registry.stats
+        with db.enable_observability(audit="off"):
+            db.append("calls", {"caller": 1, "minutes": 2})
+        assert db.registry.stats["per_view"]["usage"]["spans"] == 1
+
+    def test_per_view_stats_in_interpreted_engine(self):
+        db = make_db(compile_views=False)
+        with db.enable_observability(audit="off"):
+            db.append("calls", {"caller": 1, "minutes": 5})
+        stats = db.registry.stats
+        assert stats["interpreted_maintained"] == 1
+        assert stats["per_view"]["usage"]["spans"] == 1
+
+    def test_stats_copy_is_isolated(self):
+        db = make_db()
+        with db.enable_observability(audit="off"):
+            db.append("calls", {"caller": 1, "minutes": 5})
+        stats = db.registry.stats
+        stats["per_view"]["usage"]["spans"] = 999
+        assert db.registry.stats["per_view"]["usage"]["spans"] == 1
