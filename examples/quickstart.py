@@ -49,7 +49,7 @@ def main() -> None:
         hot_caller = hot_caller or record["caller"]
 
     # Summary queries: index lookups on the views, no stream access.
-    usage = db.query_view("usage", (hot_caller,))
+    usage = db.view_row("usage", (hot_caller,))
     revenue = db.view_value("revenue", (), "total_cents")
     print(f"chronicle stored rows : {len(db.chronicle('calls'))} (of 10,000 appended)")
     print(f"caller {hot_caller}   : {usage['calls']} calls, {usage['total_seconds']}s total")

@@ -26,8 +26,19 @@ from . import errors
 from .aggregates import AVG, COUNT, FIRST, LAST, MAX, MIN, STDEV, SUM, VAR, AggregateSpec, spec
 from .algebra import IMClass, Language, classify, scan
 from .core import Chronicle, ChronicleGroup, Delta, chronicle_schema
+from .core.config import DatabaseConfig
 from .core.database import ChronicleDatabase
 from .obs import MetricsRegistry, Observability, Tracer
+from .workloads import (
+    BankingWorkload,
+    CreditCardWorkload,
+    FrequentFlyerWorkload,
+    SensorWorkload,
+    StockWorkload,
+    TelecomWorkload,
+    Workload,
+    ZipfChooser,
+)
 from .relational import (
     Attribute,
     Relation,
@@ -54,7 +65,9 @@ from .views import (
 __version__ = "1.0.0"
 
 __all__ = [
+    # The facade: the database, its configuration, the engines' shared API.
     "ChronicleDatabase",
+    "DatabaseConfig",
     "Chronicle",
     "ChronicleGroup",
     "chronicle_schema",
@@ -95,9 +108,19 @@ __all__ = [
     "IncrementalTieredComputation",
     "ViewQuery",
     "top_k",
+    # Observability handles.
     "Observability",
     "MetricsRegistry",
     "Tracer",
+    # Workload entry points (the paper's application domains).
+    "Workload",
+    "ZipfChooser",
+    "TelecomWorkload",
+    "BankingWorkload",
+    "CreditCardWorkload",
+    "FrequentFlyerWorkload",
+    "StockWorkload",
+    "SensorWorkload",
     "errors",
     "__version__",
 ]

@@ -270,13 +270,19 @@ class CompiledPlan:
     returns the delta of the view's χ expression.  The cache is shared by
     every plan of a registry, so interned nodes referenced by several
     plans are evaluated once per event.
+
+    Every plan also *declares its partition key*: :attr:`partition` is
+    either a :class:`PartitionSpec` (the view's maintenance can be
+    hash-partitioned by those base attributes, see
+    :mod:`repro.parallel`) or the :data:`UNPARTITIONABLE` sentinel.
     """
 
-    __slots__ = ("root", "_fn")
+    __slots__ = ("root", "_fn", "partition")
 
-    def __init__(self, root: Node, fn: PlanFn) -> None:
+    def __init__(self, root: Node, fn: PlanFn, partition: Any = None) -> None:
         self.root = root
         self._fn = fn
+        self.partition = partition if partition is not None else UNPARTITIONABLE
 
     def __call__(
         self, deltas: Mapping[str, Delta], cache: Optional[Dict[int, Delta]] = None
@@ -325,10 +331,15 @@ class PlanCompiler:
 
     # -- compilation -----------------------------------------------------------------
 
-    def compile(self, root: Node) -> CompiledPlan:
-        """Compile the (interned) *root* into a flat delta program."""
+    def compile(self, root: Node, partition: Any = None) -> CompiledPlan:
+        """Compile the (interned) *root* into a flat delta program.
+
+        *partition* is the plan's partition declaration (a
+        :class:`PartitionSpec` or :data:`UNPARTITIONABLE`), usually the
+        result of :func:`infer_partition` on the view's summary.
+        """
         GLOBAL_COUNTERS.count("plan_compile")
-        return CompiledPlan(root, self._step(root))
+        return CompiledPlan(root, self._step(root), partition=partition)
 
     def _step(self, node: Node) -> PlanFn:
         fn = self._step_inner(node)
@@ -676,3 +687,189 @@ class PlanCompiler:
             return Delta(schema, rows)
 
         return rel_key_join_step
+
+
+# ---------------------------------------------------------------------------
+# Partition-key inference
+# ---------------------------------------------------------------------------
+#
+# The sharded engine (:mod:`repro.parallel`) hash-partitions incoming
+# records by each view's summary key and maintains each partition
+# independently.  That is sound exactly when *every* record that can
+# contribute to a given view key lands in the same shard.  The analysis
+# below decides this by tracing the copy-lineage of the summary-key
+# attributes through the view's χ expression down to base-chronicle
+# attributes: because CA's reshaping operators only *copy* values (no
+# arithmetic), a key attribute that traces to one base attribute in every
+# scanned chronicle yields a routing rule "hash that base attribute".
+#
+# Views whose keys straddle partitions declare UNPARTITIONABLE and fall
+# back to the serial shard:
+#
+# * global aggregates (empty grouping) — one cross-key accumulator;
+# * keys derived from aggregate outputs or relation-side attributes —
+#   no base-chronicle lineage;
+# * expressions containing SeqJoin / the extension operators — an output
+#   row derives from *several* chronicle rows matched by sequence
+#   number, which routing by value cannot co-locate.
+#
+# Union is partitionable (each output row derives from one input row);
+# so is Difference (cancellation requires *identical* tuples, and
+# identical tuples hash identically, so per-shard difference equals the
+# global difference restricted to the shard).
+
+
+class _Unpartitionable:
+    """Sentinel: the view's maintenance cannot be hash-partitioned."""
+
+    _instance: Optional["_Unpartitionable"] = None
+
+    def __new__(cls) -> "_Unpartitionable":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "UNPARTITIONABLE"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: The partition declaration of views that must run on the serial shard.
+UNPARTITIONABLE = _Unpartitionable()
+
+
+class PartitionSpec:
+    """A view's routing rule: chronicle name → base routing attributes.
+
+    ``keys[chronicle]`` lists, *in summary-key order*, the base attribute
+    of that chronicle whose value each summary-key attribute copies.  Two
+    records with equal routing-attribute values always contribute to the
+    same view keys, so hashing the routing tuple assigns every record to
+    the shard that owns all view state it can touch — and a summary-key
+    lookup hashes the key itself to find that shard.
+    """
+
+    __slots__ = ("keys",)
+
+    def __init__(self, keys: Mapping[str, Tuple[str, ...]]) -> None:
+        self.keys: Dict[str, Tuple[str, ...]] = dict(keys)
+
+    @property
+    def chronicles(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.keys))
+
+    def canonical(self) -> Tuple[Tuple[str, Tuple[str, ...]], ...]:
+        """A hashable identity: equal specs can share shard state."""
+        return tuple(sorted(self.keys.items()))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PartitionSpec) and self.keys == other.keys
+
+    def __hash__(self) -> int:
+        return hash(self.canonical())
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{c}: {list(a)}" for c, a in sorted(self.keys.items()))
+        return f"PartitionSpec({inner})"
+
+
+#: attr name -> {chronicle name -> base attr};  None = poisoned subtree.
+_Lineage = Optional[Dict[str, Dict[str, str]]]
+
+
+def _attribute_lineage(node: Node) -> _Lineage:
+    """Copy-lineage of *node*'s output attributes to base-chronicle attrs.
+
+    Returns ``None`` when the subtree contains an operator whose output
+    rows derive from several chronicle rows (SeqJoin, the extension
+    operators, or any operator this analysis does not know) — such trees
+    are unpartitionable outright.  An attribute mapped to an empty dict
+    has no chronicle lineage (aggregate outputs, relation attributes).
+    """
+    if isinstance(node, ChronicleScan):
+        name = node.chronicle.name
+        return {attr: {name: attr} for attr in node.schema.names}
+    if isinstance(node, Select):
+        return _attribute_lineage(node.child)
+    if isinstance(node, Project):
+        child = _attribute_lineage(node.child)
+        if child is None:
+            return None
+        return {name: child[name] for name in node.names}
+    if isinstance(node, (Union, Difference)):
+        left = _attribute_lineage(node.left)
+        right = _attribute_lineage(node.right)
+        if left is None or right is None:
+            return None
+        merged: Dict[str, Dict[str, str]] = {}
+        for attr in node.schema.names:
+            sources = dict(left.get(attr, {}))
+            for chronicle, base in right.get(attr, {}).items():
+                if sources.get(chronicle, base) != base:
+                    # The two branches copy the attribute from different
+                    # base columns of the same chronicle: no single
+                    # routing attribute serves both. Dropping the entry
+                    # makes the resolution check below fail for it.
+                    sources.pop(chronicle, None)
+                else:
+                    sources[chronicle] = base
+            merged[attr] = sources
+        return merged
+    if isinstance(node, GroupBySeq):
+        child = _attribute_lineage(node.child)
+        if child is None:
+            return None
+        lineage = {name: child[name] for name in node.grouping}
+        for spec in node.aggregates:
+            lineage[spec.output] = {}
+        return lineage
+    if isinstance(node, (RelProduct, RelKeyJoin)):
+        # The relation side is replicated read-only across shards, so
+        # chronicle-attribute lineage passes through; relation-sourced
+        # output attributes carry no chronicle lineage.
+        child = _attribute_lineage(node.child)
+        if child is None:
+            return None
+        return {name: child.get(name, {}) for name in node.schema.names}
+    # SeqJoin, ChronicleProduct, NonEquiSeqJoin, unknown operators: an
+    # output row combines several chronicle rows matched by sequence
+    # number — value-routing cannot co-locate the match partners.
+    return None
+
+
+def infer_partition(summary: Any) -> Any:
+    """Infer a view's partition declaration from its summary.
+
+    Returns a :class:`PartitionSpec` when maintenance can be
+    hash-partitioned by the summary key, else :data:`UNPARTITIONABLE`.
+    *summary* is a :class:`~repro.sca.summarize.Summary` (grouping or
+    projection).
+    """
+    grouping = getattr(summary, "grouping", None)
+    if grouping is not None:
+        if not grouping:
+            return UNPARTITIONABLE  # global aggregate: one cross-key state
+        keys = tuple(grouping)
+    else:
+        keys = tuple(getattr(summary, "names", ()))
+        if not keys:
+            return UNPARTITIONABLE
+    expression = summary.expression
+    lineage = _attribute_lineage(expression)
+    if lineage is None:
+        return UNPARTITIONABLE
+    chronicle_names = {c.name for c in expression.chronicles()}
+    if not chronicle_names:
+        return UNPARTITIONABLE
+    spec: Dict[str, Tuple[str, ...]] = {}
+    for chronicle in chronicle_names:
+        routing = []
+        for key in keys:
+            base = lineage.get(key, {}).get(chronicle)
+            if base is None:
+                return UNPARTITIONABLE
+            routing.append(base)
+        spec[chronicle] = tuple(routing)
+    return PartitionSpec(spec)

@@ -101,8 +101,8 @@ class Session:
     available, at the cost of tracing overhead per statement.
     """
 
-    def __init__(self, observe: bool = True) -> None:
-        self.db = ChronicleDatabase()
+    def __init__(self, observe: bool = True, config: Optional[Any] = None) -> None:
+        self.db = ChronicleDatabase(config=config)
         if observe:
             self.db.enable_observability(install=False, audit="warn")
 
@@ -241,6 +241,12 @@ class Session:
                     f"  view {view.name}: {len(view)} rows "
                     f"[{view.language.value}, {view.im_class.value}]"
                 )
+            for name in getattr(self.db, "partitioned_views", ()):
+                view = self.db.view(name)
+                lines.append(
+                    f"  view {name}: {len(view)} rows "
+                    f"[{view.language.value}, {view.im_class.value}, sharded]"
+                )
             return "\n".join(lines) if lines else "  (empty catalog)"
         if target == "VIEW":
             if len(words) < 3:
@@ -249,7 +255,32 @@ class Session:
             return _format_rows(sorted(view.rows(), key=lambda r: r.values))
         if target == "STATS":
             return self._show_stats()
+        if target == "SHARDS":
+            return self._show_shards()
         raise CliError(f"SHOW: unknown target {target!r}")
+
+    def _show_shards(self) -> str:
+        shard_groups = getattr(self.db, "shard_groups", None)
+        if shard_groups is None:
+            return "  engine=serial (no shards; start with engine='sharded')"
+        lines = [f"  engine=sharded shards={self.db.config.shards}"]
+        for shard_group in shard_groups:
+            lines.append(
+                f"  key class {shard_group.name} {shard_group.spec!r}: "
+                f"views {sorted(shard_group.views)}"
+            )
+            for unit in shard_group.units:
+                rows = sum(
+                    len(unit.registry.view(name).relation)
+                    for name in shard_group.views
+                )
+                lines.append(
+                    f"    shard {unit.label}: watermark={unit.watermark} rows={rows}"
+                )
+        fallbacks = self.db.fallback_views
+        if fallbacks:
+            lines.append(f"  serial-shard fallbacks: {sorted(fallbacks)}")
+        return "\n".join(lines)
 
     def _observability(self):
         obs = self.db.observability

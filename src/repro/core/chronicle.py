@@ -22,6 +22,7 @@ with ``retention=0`` to prove maintenance never needed the store.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from contextlib import contextmanager
 from typing import Any, Deque, Iterator, List, Mapping, Optional, Sequence, Union
@@ -40,30 +41,33 @@ from .sequence import SequenceNumber
 
 RowValues = Union[Mapping[str, Any], Sequence[Any]]
 
-# Depth of nested maintenance sections currently active (module-global so
-# the guard covers every chronicle instance).
-_MAINTENANCE_DEPTH = 0
+# Depth of nested maintenance sections currently active.  Thread-local:
+# the guard marks a *dynamic extent*, and with the sharded engine several
+# worker threads maintain views concurrently — each worker's guard must
+# cover its own maintenance only (an unguarded reader thread may read
+# freely while another thread maintains).  A module-global counter would
+# also corrupt under concurrent non-atomic +=/-=.
+_MAINTENANCE = threading.local()
 
 
 @contextmanager
 def maintenance_guard() -> Iterator[None]:
     """Mark a dynamic extent as incremental-maintenance code.
 
-    While active, any chronicle read raises
+    While active, any chronicle read *on this thread* raises
     :class:`~repro.errors.ChronicleAccessError` — the mechanical proof
     that maintenance ran without chronicle access.
     """
-    global _MAINTENANCE_DEPTH
-    _MAINTENANCE_DEPTH += 1
+    _MAINTENANCE.depth = getattr(_MAINTENANCE, "depth", 0) + 1
     try:
         yield
     finally:
-        _MAINTENANCE_DEPTH -= 1
+        _MAINTENANCE.depth -= 1
 
 
 def in_maintenance() -> bool:
-    """Whether maintenance code is currently executing."""
-    return _MAINTENANCE_DEPTH > 0
+    """Whether maintenance code is executing on the current thread."""
+    return getattr(_MAINTENANCE, "depth", 0) > 0
 
 
 class Chronicle:

@@ -1,0 +1,100 @@
+"""Database configuration: one frozen object instead of keyword sprawl.
+
+Three PRs of organic growth left :class:`~repro.core.database
+.ChronicleDatabase` accepting a grab-bag of keywords (``prefilter_views``,
+``compile_views``, ``observe``, …).  :class:`DatabaseConfig` replaces them
+with a single immutable value object that also carries the engine
+selection knobs of the sharded maintenance engine
+(:mod:`repro.parallel`)::
+
+    from repro import ChronicleDatabase, DatabaseConfig
+
+    db = ChronicleDatabase(config=DatabaseConfig(engine="sharded", shards=4))
+
+The legacy keywords keep working for one release through a shim that
+emits :class:`DeprecationWarning` and maps onto the config (see
+``docs/api.md`` for the migration table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Optional
+
+from ..errors import ConfigError
+
+#: Supported maintenance engines.
+ENGINES = ("serial", "sharded")
+
+#: Supported shard executors (sharded engine only).
+EXECUTORS = ("thread", "serial", "process")
+
+#: Supported auditor modes (observability).
+AUDIT_MODES = ("off", "warn", "raise")
+
+
+@dataclass(frozen=True)
+class DatabaseConfig:
+    """Immutable configuration of a :class:`ChronicleDatabase`.
+
+    Parameters
+    ----------
+    engine:
+        ``"serial"`` — the classic single-threaded maintenance path —
+        or ``"sharded"`` — the hash-partitioned parallel engine of
+        :mod:`repro.parallel` (``ChronicleDatabase(config=...)`` then
+        returns a :class:`~repro.parallel.ShardedDatabase`).
+    shards:
+        Number of worker shards per partitionable key class (sharded
+        engine only; must be >= 1).
+    executor:
+        How shard maintenance fans out: ``"thread"`` (a worker-thread
+        pool, the default), ``"serial"`` (in-line, deterministic — for
+        debugging), or ``"process"`` (reserved; gated until shard state
+        is checkpointable across process boundaries).
+    prefilter_views:
+        Enable the Section 5.2 affected-view prefilter.
+    compile_views:
+        Maintain views through compiled plans (:mod:`repro.algebra.plan`).
+    observe:
+        Create and install an :class:`~repro.obs.Observability` handle.
+    audit_mode:
+        Auditor mode used when *observe* builds the handle
+        (``"off"`` / ``"warn"`` / ``"raise"``).
+    aggregates:
+        Aggregate registry for the view language (``None`` — a fresh
+        copy of the standard registry).
+    """
+
+    engine: str = "serial"
+    shards: int = 4
+    executor: str = "thread"
+    prefilter_views: bool = True
+    compile_views: bool = True
+    observe: bool = False
+    audit_mode: str = "warn"
+    aggregates: Optional[Any] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ConfigError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
+            )
+        if self.executor not in EXECUTORS:
+            raise ConfigError(
+                f"unknown executor {self.executor!r}; expected one of {EXECUTORS}"
+            )
+        if self.audit_mode not in AUDIT_MODES:
+            raise ConfigError(
+                f"unknown audit_mode {self.audit_mode!r}; "
+                f"expected one of {AUDIT_MODES}"
+            )
+        if not isinstance(self.shards, int) or self.shards < 1:
+            raise ConfigError(f"shards must be a positive int, got {self.shards!r}")
+
+    def replace(self, **changes: Any) -> "DatabaseConfig":
+        """A copy of this config with *changes* applied (validated)."""
+        unknown = set(changes) - {f.name for f in fields(self)}
+        if unknown:
+            raise ConfigError(f"unknown config fields {sorted(unknown)}")
+        return replace(self, **changes)

@@ -30,6 +30,8 @@ Typical use::
 
 from __future__ import annotations
 
+import warnings
+import weakref
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..aggregates.registry import AggregateRegistry, default_registry
@@ -44,10 +46,30 @@ from ..sca.view import PersistentView
 from ..views.periodic import PeriodicViewSet
 from ..views.registry import ViewRegistry
 from .chronicle import Chronicle, RowValues
+from .config import DatabaseConfig
 from .group import ChronicleGroup
 from .sequence import ChrononMapper, SequenceNumber
 
 DEFAULT_GROUP = "default"
+
+#: Sentinel distinguishing "not passed" from explicit values in the
+#: deprecated keyword shim.
+_UNSET: Any = object()
+
+
+def _resolve_config(config: Optional[DatabaseConfig], legacy: Dict[str, Any]) -> DatabaseConfig:
+    """Merge the config object with any deprecated legacy keywords."""
+    used = {name: value for name, value in legacy.items() if value is not _UNSET}
+    if used:
+        warnings.warn(
+            f"ChronicleDatabase keyword(s) {sorted(used)} are deprecated; "
+            f"pass config=DatabaseConfig(...) instead (see docs/api.md)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    if config is None:
+        config = DatabaseConfig()
+    return config.replace(**used) if used else config
 
 
 class ChronicleDatabase:
@@ -55,43 +77,67 @@ class ChronicleDatabase:
 
     Parameters
     ----------
-    prefilter_views:
-        Enable the Section 5.2 affected-view prefilter in the registry.
-    compile_views:
-        Maintain views through compiled plans (structural interning +
-        fused delta pipelines, see :mod:`repro.algebra.plan`) — the
-        default.  Pass ``False`` to fall back to the tree-walking
-        interpreter, e.g. to compare the two engines.
-    aggregates:
-        Aggregate registry for the view language; defaults to a fresh
-        copy of the standard registry.
-    observe:
-        Create and install an :class:`~repro.obs.Observability` instance
-        (tracing + metrics + warn-mode auditor) for this database.  Off
-        by default — the maintenance pipeline then runs with the no-op
-        fast path and zero instrumentation cost.
+    config:
+        A :class:`~repro.core.config.DatabaseConfig`.  With
+        ``engine="sharded"`` this constructor returns a
+        :class:`~repro.parallel.ShardedDatabase` (the parallel
+        maintenance engine); the default is the serial engine.
     observability:
         Install a pre-configured :class:`~repro.obs.Observability`
-        instead (implies *observe*).  Note the runtime slot is
+        (implies ``config.observe``).  Note the runtime slot is
         process-wide, like ``GLOBAL_COUNTERS``: the installed instance
         observes every database in the process.
+    prefilter_views, compile_views, aggregates, observe:
+        **Deprecated** keyword shims for the pre-config API; each maps
+        onto the config field of the same name and emits a
+        :class:`DeprecationWarning` (see ``docs/api.md`` for the
+        migration table).
     """
+
+    def __new__(cls, config: Optional[DatabaseConfig] = None, **kwargs: Any) -> "ChronicleDatabase":
+        if (
+            cls is ChronicleDatabase
+            and config is not None
+            and config.engine == "sharded"
+        ):
+            from ..parallel.engine import ShardedDatabase
+
+            return super().__new__(ShardedDatabase)
+        return super().__new__(cls)
 
     def __init__(
         self,
-        prefilter_views: bool = True,
-        compile_views: bool = True,
-        aggregates: Optional[AggregateRegistry] = None,
-        observe: bool = False,
+        config: Optional[DatabaseConfig] = None,
+        *,
         observability: Optional[Observability] = None,
+        prefilter_views: Any = _UNSET,
+        compile_views: Any = _UNSET,
+        aggregates: Any = _UNSET,
+        observe: Any = _UNSET,
     ) -> None:
+        config = _resolve_config(
+            config,
+            {
+                "prefilter_views": prefilter_views,
+                "compile_views": compile_views,
+                "aggregates": aggregates,
+                "observe": observe,
+            },
+        )
+        #: The database's immutable configuration.
+        self.config = config
         self.groups: Dict[str, ChronicleGroup] = {}
         self.relations: Dict[str, VersionedRelation] = {}
-        self.registry = ViewRegistry(prefilter=prefilter_views, compile=compile_views)
-        self.aggregates = aggregates if aggregates is not None else default_registry()
+        self.registry = ViewRegistry(
+            prefilter=config.prefilter_views, compile=config.compile_views
+        )
+        self.aggregates = (
+            config.aggregates if config.aggregates is not None else default_registry()
+        )
         self._chronicle_group: Dict[str, str] = {}  # chronicle name -> group name
         self._observability: Optional[Observability] = None
-        if observability is not None or observe:
+        self._exporter_finalizer: Optional[weakref.finalize] = None
+        if observability is not None or config.observe:
             self.enable_observability(observability)
 
     # -- observability --------------------------------------------------------------
@@ -117,11 +163,11 @@ class ChronicleDatabase:
         statement).
         """
         if obs is None:
-            obs = (
-                self._observability
-                if self._observability is not None and not config
-                else Observability(**config)
-            )
+            if self._observability is not None and not config:
+                obs = self._observability
+            else:
+                config.setdefault("audit", self.config.audit_mode)
+                obs = Observability(**config)
         self._observability = obs
         return obs.install() if install else obs
 
@@ -160,11 +206,44 @@ class ChronicleDatabase:
         then serves ``/metrics`` (Prometheus text), ``/certificates``,
         and ``/snapshot`` on *port* (0 = ephemeral).  Returns the
         :class:`~repro.obs.exporters.MetricsServer`.
+
+        The exporter's serving thread is tied to this database's
+        lifetime: :meth:`close` stops it, and a finalizer stops it if
+        the database is garbage-collected while still serving.
         """
         obs = self._observability
         if obs is None:
             obs = self.enable_observability()
-        return obs.serve(port=port, host=host)
+        server = obs.serve(port=port, host=host)
+        if self._exporter_finalizer is not None:
+            self._exporter_finalizer.detach()
+        # The finalizer closes over the handle, not self, so it cannot
+        # keep the database alive.
+        self._exporter_finalizer = weakref.finalize(self, Observability.stop_serving, obs)
+        return server
+
+    def close(self) -> None:
+        """Release background resources (idempotent).
+
+        Stops the metrics exporter's serving thread if one is running.
+        The database remains usable for in-process work afterwards; use
+        the context-manager form to scope the exporter to a block::
+
+            with ChronicleDatabase(...) as db:
+                db.serve_metrics(port=0)
+                ...
+        """
+        if self._exporter_finalizer is not None:
+            self._exporter_finalizer.detach()
+            self._exporter_finalizer = None
+        if self._observability is not None:
+            self._observability.stop_serving()
+
+    def __enter__(self) -> "ChronicleDatabase":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
 
     # -- catalog --------------------------------------------------------------------
 
@@ -281,6 +360,16 @@ class ChronicleDatabase:
             if name is None:
                 raise ViewRegistrationError("a programmatic view needs a name")
             view_name, summary = name, definition
+        return self._register_summary(view_name, summary, materialize)
+
+    def _register_summary(
+        self, view_name: str, summary: Summary, materialize: bool
+    ) -> PersistentView:
+        """Register one summary as a persistent view (engine hook).
+
+        The sharded engine overrides this to place partitionable views
+        on worker shards; the serial path registers on :attr:`registry`.
+        """
         view = PersistentView(view_name, summary)
         self.registry.register(view)
         if materialize:
@@ -377,15 +466,46 @@ class ChronicleDatabase:
             batches, sequence_number=sequence_number, instant=instant
         )
 
+    def ingest(
+        self,
+        chronicle: str,
+        batches: Sequence[Union[RowValues, Sequence[RowValues]]],
+        instant: Optional[float] = None,
+    ) -> int:
+        """Append a window of transaction batches; returns records admitted.
+
+        Each batch receives its own fresh sequence number.  On the
+        serial engine every batch is its own maintenance event; the
+        sharded engine overrides this with a group-commit path that
+        ships each worker shard one coalesced event per window.
+        """
+        total = 0
+        for records in batches:
+            total += len(self.append(chronicle, records, instant=instant))
+        return total
+
     def update_relation(self, name: str, key: Sequence[Any], **changes: Any) -> bool:
         """Proactively update a relation row (Section 2.3)."""
         return self.relation(name).update_key(key, **changes)
 
     # -- queries ---------------------------------------------------------------------------
 
-    def query_view(self, name: str, key: Sequence[Any]) -> Optional[Row]:
+    def view_row(self, name: str, key: Sequence[Any]) -> Optional[Row]:
         """Summary query: the view row at *key* — no chronicle access."""
         return self.view(name).lookup(key)
+
+    def query_view(self, name: str, key: Sequence[Any]) -> Optional[Row]:
+        """Deprecated alias of :meth:`view_row`.
+
+        Renamed for consistency with :meth:`view_value` (both are
+        summary-key point queries); retained for one release.
+        """
+        warnings.warn(
+            "ChronicleDatabase.query_view() is deprecated; use view_row()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.view_row(name, key)
 
     def view_value(self, name: str, key: Sequence[Any], output: str) -> Any:
         """Summary query returning a single output attribute."""
@@ -396,6 +516,11 @@ class ChronicleDatabase:
     ) -> List[Row]:
         """Detail query over a chronicle's retained window (Section 2.2)."""
         return self.chronicle(chronicle).window(low, high)
+
+    @property
+    def stats(self) -> Dict[str, Any]:
+        """Maintenance/routing statistics (merged across shards when sharded)."""
+        return self.registry.stats
 
     # -- durability --------------------------------------------------------------------
 

@@ -231,6 +231,61 @@ class ChronicleGroup:
                 listener(self, event)
         return stamped
 
+    def ingest_stamped(
+        self,
+        event: Mapping[str, Sequence[Row]],
+        watermark: SequenceNumber,
+    ) -> None:
+        """Absorb already-stamped rows as **one** maintenance event.
+
+        The sharded engine's group-commit path: rows were admitted and
+        stamped elsewhere (several transaction batches, each with its own
+        fresh sequence number — *watermark* is the highest), and this
+        group absorbs them in one shot: the issuer advances to
+        *watermark*, each chronicle stores its rows, and the listeners
+        fire **once** for the union.  Coalescing is sound for every CA
+        delta rule — each rule is either per-row (select/project/union),
+        matches only equal *fresh* sequence numbers (SeqJoin), keys delta
+        groups by fresh sequence numbers (GroupBySeq), or cancels only
+        identical tuples (Difference) — so one coalesced event folds to
+        the same view state as the per-batch events would.
+
+        Sequence-number gaps below *watermark* are legal (other shards
+        own the skipped numbers); *watermark* itself must still exceed
+        this group's previous watermark.
+        """
+        obs = obs_runtime.ACTIVE
+        if obs is not None and obs.trace:
+            span = obs.tracer.start("append", group=self.name)
+            try:
+                self._ingest_stamped_impl(event, watermark)
+                span.attrs["deltas"] = {
+                    name: len(rows) for name, rows in event.items() if rows
+                }
+                span.attrs["sequence"] = watermark
+            finally:
+                obs.tracer.finish(span)
+            return
+        self._ingest_stamped_impl(event, watermark)
+
+    def _ingest_stamped_impl(
+        self,
+        event: Mapping[str, Sequence[Row]],
+        watermark: SequenceNumber,
+    ) -> None:
+        if watermark > self._issuer.watermark:
+            self._issuer.accept(watermark)
+        fired: Dict[str, Tuple[Row, ...]] = {}
+        for name, rows in event.items():
+            if not rows:
+                continue
+            rows = tuple(rows)
+            self[name]._store(rows)
+            fired[name] = rows
+        if fired:
+            for listener in self._listeners:
+                listener(self, fired)
+
     def _resolve(self, target: "Chronicle | str") -> Chronicle:
         if isinstance(target, Chronicle):
             if target.group is not self:

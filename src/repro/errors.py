@@ -161,6 +161,24 @@ class CalendarError(ViewError):
 
 
 # ---------------------------------------------------------------------------
+# Configuration / engine errors
+# ---------------------------------------------------------------------------
+
+
+class ConfigError(ChronicleError):
+    """A :class:`~repro.core.config.DatabaseConfig` value is invalid."""
+
+
+class EngineError(ChronicleError):
+    """An operation is unsupported by the selected maintenance engine.
+
+    The sharded engine (:mod:`repro.parallel`) gates a few serial-only
+    operations — checkpoint/restore of partitioned view state, the
+    ``process`` executor — behind this error until they land.
+    """
+
+
+# ---------------------------------------------------------------------------
 # Observability errors
 # ---------------------------------------------------------------------------
 

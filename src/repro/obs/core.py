@@ -174,6 +174,13 @@ class Observability:
             metrics.observe("append_seconds", span.duration, group=group)
             for event, amount in span.counters.items():
                 metrics.inc(f"cost_{event}_total", amount, group=group)
+        elif name == "shard_apply":
+            # One coalesced maintenance window applied by a shard worker
+            # (sharded engine).  The nested append/maintain spans carry
+            # the per-view numbers; this series shows shard balance.
+            shard = str(span.attrs.get("shard", "?"))
+            metrics.inc("shard_batches_total", shard=shard)
+            metrics.observe("shard_apply_seconds", span.duration, shard=shard)
         for listener in self._span_listeners:
             listener(span)
 

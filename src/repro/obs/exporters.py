@@ -43,7 +43,7 @@ from .tracer import Span
 
 #: Attributes that identify a span within its parent (other attrs —
 #: row counts, skip counts — are measurements, not identity).
-_IDENTITY_ATTRS = ("view", "operator", "engine", "group", "chronicle")
+_IDENTITY_ATTRS = ("view", "operator", "engine", "group", "chronicle", "shard")
 
 
 # ---------------------------------------------------------------------------

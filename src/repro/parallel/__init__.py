@@ -1,0 +1,36 @@
+"""Sharded parallel view maintenance (see :mod:`repro.parallel.engine`).
+
+Select it through the facade::
+
+    from repro import ChronicleDatabase, DatabaseConfig
+
+    db = ChronicleDatabase(config=DatabaseConfig(engine="sharded", shards=4))
+"""
+
+from ..algebra.plan import UNPARTITIONABLE, PartitionSpec, infer_partition
+from .engine import (
+    MergedView,
+    ParallelMaintainer,
+    ShardedDatabase,
+    ShardGroup,
+    ShardUnit,
+    UnpartitionableViewWarning,
+    rebind,
+    rebind_summary,
+)
+from .router import ShardRouter
+
+__all__ = [
+    "MergedView",
+    "ParallelMaintainer",
+    "PartitionSpec",
+    "ShardGroup",
+    "ShardRouter",
+    "ShardUnit",
+    "ShardedDatabase",
+    "UNPARTITIONABLE",
+    "UnpartitionableViewWarning",
+    "infer_partition",
+    "rebind",
+    "rebind_summary",
+]

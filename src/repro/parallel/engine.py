@@ -1,0 +1,682 @@
+"""The sharded maintenance engine: parallel view maintenance by key class.
+
+``ChronicleDatabase(config=DatabaseConfig(engine="sharded", shards=N))``
+builds a :class:`ShardedDatabase`.  Views whose summary key has copy
+lineage to the base records (:func:`~repro.algebra.plan.infer_partition`)
+are split into *N* independent partitions, one per worker shard; views
+whose keys straddle partitions fall back to the ordinary serial path (a
+:class:`UnpartitionableViewWarning` says so).  Appends are admitted and
+sequence-stamped exactly once on the serial path, then fanned out:
+
+* **shard unit** — a private :class:`~repro.core.group.ChronicleGroup`
+  of *mirror* chronicles (``retention=0`` — the no-access theorem means
+  maintenance never reads them, so shards store no chronicle history)
+  plus a private :class:`~repro.views.registry.ViewRegistry` holding
+  this shard's partition of every view in the key class;
+* **key class** — views with *equal* :class:`PartitionSpec` route
+  identically and share one row of units (:class:`ShardGroup`); views
+  with different specs get their own units, since a shard's registry
+  maintains every view it holds against every event it receives;
+* **group commit** — :meth:`ShardedDatabase.ingest` admits a window of
+  transaction batches (each with its own fresh sequence number), then
+  ships each shard *one* coalesced maintenance event for the whole
+  window (:meth:`~repro.core.group.ChronicleGroup.ingest_stamped`),
+  amortizing the per-event fixed costs that dominate small batches.
+
+Reads merge: :class:`MergedView` routes key lookups to the owning shard
+and unions scans, taking each unit's lock so a lookup never observes a
+half-applied window (snapshot consistency via per-shard watermarks).
+"""
+
+from __future__ import annotations
+
+import warnings
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+from threading import RLock
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union as TUnion
+
+from ..algebra.ast import (
+    ChronicleScan,
+    Difference,
+    GroupBySeq,
+    Node,
+    Project,
+    RelKeyJoin,
+    RelProduct,
+    Select,
+    SeqJoin,
+    Union,
+)
+from ..algebra.plan import UNPARTITIONABLE, PartitionSpec, infer_partition
+from ..core.chronicle import Chronicle, RowValues
+from ..core.database import ChronicleDatabase
+from ..core.delta import Delta
+from ..core.group import ChronicleGroup
+from ..core.sequence import SequenceNumber
+from ..errors import ChronicleGroupError, EngineError, ViewRegistrationError
+from ..obs import runtime as obs_runtime
+from ..relational.algebra import Table
+from ..relational.tuples import Row
+from ..sca.summarize import GroupBySummary, ProjectSummary, Summary
+from ..sca.view import PersistentView
+from ..views.registry import ViewRegistry
+from .router import ShardRouter
+
+
+class UnpartitionableViewWarning(UserWarning):
+    """A view's keys straddle partitions; it runs on the serial shard."""
+
+
+# ---------------------------------------------------------------------------
+# Expression rebinding (real chronicles -> a shard's mirrors)
+# ---------------------------------------------------------------------------
+
+
+def rebind(node: Node, chronicles: Mapping[str, Chronicle]) -> Node:
+    """Rebuild an algebra tree over mirror chronicles.
+
+    Relations are shared (replicated read-only — proactive updates reach
+    every shard through the one shared object); chronicle scans are
+    redirected to the shard's mirrors, which carry the *same*
+    :class:`~repro.relational.schema.Schema` objects, so rows stamped on
+    the serial path flow into shard maintenance without copying.
+    """
+    if isinstance(node, ChronicleScan):
+        return ChronicleScan(chronicles[node.chronicle.name])
+    if isinstance(node, Select):
+        return Select(rebind(node.child, chronicles), node.predicate)
+    if isinstance(node, Project):
+        return Project(rebind(node.child, chronicles), node.names)
+    if isinstance(node, SeqJoin):
+        return SeqJoin(rebind(node.left, chronicles), rebind(node.right, chronicles))
+    if isinstance(node, Union):
+        return Union(rebind(node.left, chronicles), rebind(node.right, chronicles))
+    if isinstance(node, Difference):
+        return Difference(rebind(node.left, chronicles), rebind(node.right, chronicles))
+    if isinstance(node, GroupBySeq):
+        return GroupBySeq(rebind(node.child, chronicles), node.grouping, node.aggregates)
+    if isinstance(node, RelProduct):
+        return RelProduct(rebind(node.child, chronicles), node.relation)
+    if isinstance(node, RelKeyJoin):
+        return RelKeyJoin(rebind(node.child, chronicles), node.relation, node.pairs)
+    raise EngineError(
+        f"cannot rebind {type(node).__name__} onto shard mirrors; "
+        f"views containing it are unpartitionable"
+    )
+
+
+def rebind_summary(summary: Summary, chronicles: Mapping[str, Chronicle]) -> Summary:
+    """Rebuild a summary specification over mirror chronicles."""
+    expression = rebind(summary.expression, chronicles)
+    if isinstance(summary, GroupBySummary):
+        return GroupBySummary(
+            expression, summary.grouping, summary.aggregates, having=summary.having
+        )
+    if isinstance(summary, ProjectSummary):
+        return ProjectSummary(expression, summary.names)
+    raise EngineError(f"cannot rebind summary type {type(summary).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Shard units and key classes
+# ---------------------------------------------------------------------------
+
+
+class ShardUnit:
+    """One worker shard of one key class: mirrors + a private registry.
+
+    All access to the unit's state — applying a maintenance window,
+    reading a view partition — happens under :attr:`lock`, so reads are
+    snapshot-consistent: they see whole windows or nothing.
+    """
+
+    __slots__ = ("index", "label", "group", "registry", "lock", "watermark")
+
+    def __init__(
+        self,
+        index: int,
+        label: str,
+        source_group: ChronicleGroup,
+        compile_plans: bool,
+    ) -> None:
+        self.index = index
+        self.label = label
+        self.group = ChronicleGroup(f"{source_group.name}::{label}")
+        # No prefilter: units see coalesced multi-batch events, which are
+        # large enough that nearly every view is affected — the prefilter
+        # would re-scan the whole event per view only to say "yes".  The
+        # prefilter stays on the serial registry, where per-batch events
+        # are small and most views are untouched.
+        self.registry = ViewRegistry(prefilter=False, compile=compile_plans)
+        self.group.subscribe(self.registry.on_event)
+        self.lock = RLock()
+        #: Highest sequence number this shard has absorbed (-1 initially).
+        self.watermark: SequenceNumber = -1
+
+    def mirror(self, chronicle: Chronicle) -> Chronicle:
+        """The unit's mirror of a real chronicle (created on demand).
+
+        Mirrors share the real chronicle's schema and store nothing
+        (``retention=0``): maintenance never reads the store, so the
+        shard only pays for view state, not chronicle history.
+        """
+        existing = self.group.chronicles.get(chronicle.name)
+        if existing is None:
+            existing = Chronicle(chronicle.name, chronicle.schema, retention=0)
+            self.group.adopt(existing)
+        return existing
+
+    def apply(
+        self, event: Mapping[str, Sequence[Row]], watermark: SequenceNumber
+    ) -> None:
+        """Absorb one coalesced maintenance window (runs on a worker)."""
+        obs = obs_runtime.ACTIVE
+        with self.lock:
+            if obs is not None and obs.trace:
+                span = obs.tracer.start("shard_apply", shard=self.label)
+                try:
+                    self.group.ingest_stamped(event, watermark)
+                finally:
+                    obs.tracer.finish(span)
+            else:
+                self.group.ingest_stamped(event, watermark)
+            self.watermark = watermark
+
+    def __repr__(self) -> str:
+        return f"ShardUnit({self.label!r}, watermark={self.watermark})"
+
+
+class ShardGroup:
+    """All worker shards of one partition key class.
+
+    Views whose :class:`PartitionSpec` is *equal* share these units —
+    they route records identically, so one event stream maintains them
+    all.  Views with different specs must not share units: a unit's
+    registry maintains every registered view against every event it
+    receives, and rows routed under one spec generally belong to a
+    different shard under another.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        spec: PartitionSpec,
+        source_group: ChronicleGroup,
+        shards: int,
+        compile_plans: bool,
+    ) -> None:
+        self.name = name
+        self.spec = spec
+        self.source_group = source_group
+        self.router = ShardRouter(spec, shards)
+        self.units: List[ShardUnit] = [
+            ShardUnit(i, f"{name}:{i}", source_group, compile_plans)
+            for i in range(shards)
+        ]
+        self.views: Dict[str, Summary] = {}
+
+    def add_view(self, name: str, summary: Summary) -> None:
+        """Register one view partition in every unit."""
+        chronicles = {c.name: c for c in summary.expression.chronicles()}
+        for chronicle in chronicles.values():
+            self.router.bind(chronicle)
+        for unit in self.units:
+            mirrors = {n: unit.mirror(c) for n, c in chronicles.items()}
+            rebound = rebind_summary(summary, mirrors)
+            with unit.lock:
+                unit.registry.register(PersistentView(name, rebound))
+        self.views[name] = summary
+
+    def remove_view(self, name: str) -> None:
+        for unit in self.units:
+            with unit.lock:
+                unit.registry.unregister(name)
+        del self.views[name]
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardGroup({self.name!r}, shards={len(self.units)}, "
+            f"views={sorted(self.views)})"
+        )
+
+
+class MergedView:
+    """Read facade over one view's per-shard partitions.
+
+    Key lookups hash the key to the owning shard; scans union the
+    partitions.  Each access takes the unit's lock, so reads are
+    snapshot-consistent with respect to maintenance windows.
+    """
+
+    def __init__(self, name: str, summary: Summary, shard_group: ShardGroup) -> None:
+        self.name = name
+        self.summary = summary
+        #: The view's original expression over the *real* chronicles.
+        self.expression = summary.expression
+        self._shard_group = shard_group
+
+    # -- introspection (delegated to the partition views) ----------------------
+
+    @property
+    def schema(self) -> Any:
+        return self.summary.output_schema
+
+    def _partition(self, unit: ShardUnit) -> PersistentView:
+        return unit.registry.view(self.name)
+
+    @property
+    def classification(self) -> Any:
+        return self._partition(self._shard_group.units[0]).classification
+
+    @property
+    def im_class(self) -> Any:
+        return self._partition(self._shard_group.units[0]).im_class
+
+    @property
+    def language(self) -> Any:
+        return self._partition(self._shard_group.units[0]).language
+
+    def chronicle_names(self) -> Tuple[str, ...]:
+        return tuple({c.name: None for c in self.expression.chronicles()})
+
+    @property
+    def maintenance_count(self) -> int:
+        """Total maintenance windows processed across all partitions."""
+        return sum(
+            self._partition(unit).maintenance_count
+            for unit in self._shard_group.units
+        )
+
+    # -- reads ------------------------------------------------------------------
+
+    def lookup(self, key: Sequence[Any]) -> Optional[Row]:
+        key = tuple(key)
+        sg = self._shard_group
+        unit = sg.units[sg.router.shard_of_key(key)]
+        with unit.lock:
+            return self._partition(unit).lookup(key)
+
+    def value(self, key: Sequence[Any], output: str) -> Any:
+        key = tuple(key)
+        sg = self._shard_group
+        unit = sg.units[sg.router.shard_of_key(key)]
+        with unit.lock:
+            return self._partition(unit).value(key, output)
+
+    def rows(self) -> Any:
+        """Union of the partitions (each snapshotted under its lock)."""
+        for unit in self._shard_group.units:
+            with unit.lock:
+                chunk = list(self._partition(unit).rows())
+            yield from chunk
+
+    def __iter__(self) -> Any:
+        return self.rows()
+
+    def __len__(self) -> int:
+        total = 0
+        for unit in self._shard_group.units:
+            with unit.lock:
+                total += len(self._partition(unit))
+        return total
+
+    def to_table(self) -> Table:
+        return Table(self.schema, list(self.rows()))
+
+    def __repr__(self) -> str:
+        return (
+            f"MergedView({self.name!r}, shards={len(self._shard_group.units)}, "
+            f"rows={len(self)})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The maintainer (executor fan-out)
+# ---------------------------------------------------------------------------
+
+
+class ParallelMaintainer:
+    """Fans per-shard maintenance tasks out to workers.
+
+    ``executor="thread"`` runs tasks on a worker pool; ``"serial"`` runs
+    them inline (deterministic, handy under debuggers); ``"process"`` is
+    reserved — shard state (closures, locks, live view objects) is not
+    picklable across process boundaries, so selecting it raises
+    :class:`~repro.errors.EngineError` until shard state is
+    checkpointable.
+    """
+
+    def __init__(self, executor: str = "thread", workers: int = 4) -> None:
+        if executor == "process":
+            raise EngineError(
+                "the 'process' executor is gated: shard state is not "
+                "picklable across process boundaries; use 'thread' or 'serial'"
+            )
+        if executor not in ("thread", "serial"):
+            raise EngineError(f"unknown executor {executor!r}")
+        self.executor = executor
+        self.workers = workers
+        self._pool: Optional[ThreadPoolExecutor] = (
+            ThreadPoolExecutor(max_workers=workers, thread_name_prefix="repro-shard")
+            if executor == "thread"
+            else None
+        )
+
+    def run(self, tasks: Sequence[Callable[[], None]]) -> None:
+        """Run every task; re-raises the first failure after all finish."""
+        if not tasks:
+            return
+        if self._pool is None or len(tasks) == 1:
+            for task in tasks:
+                task()
+            return
+        futures = [self._pool.submit(task) for task in tasks]
+        error: Optional[BaseException] = None
+        for future in futures:
+            exc = future.exception()
+            if exc is not None and error is None:
+                error = exc
+        if error is not None:
+            raise error
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+
+    def __repr__(self) -> str:
+        return f"ParallelMaintainer(executor={self.executor!r}, workers={self.workers})"
+
+
+# ---------------------------------------------------------------------------
+# The sharded database
+# ---------------------------------------------------------------------------
+
+
+class ShardedDatabase(ChronicleDatabase):
+    """A chronicle database maintaining partitionable views in parallel.
+
+    Construction goes through the facade::
+
+        db = ChronicleDatabase(config=DatabaseConfig(engine="sharded", shards=4))
+
+    Admission stays serial (one sequence-number domain per group —
+    Section 4's ordering requirement), maintenance fans out.  Views that
+    cannot be partitioned run exactly as in the serial engine, on the
+    base registry; everything else lives in per-key-class
+    :class:`ShardGroup` units and is read through :class:`MergedView`.
+    """
+
+    def __init__(self, config: Any = None, **legacy: Any) -> None:
+        super().__init__(config=config, **legacy)
+        if self.config.engine != "sharded":
+            self.config = self.config.replace(engine="sharded")
+        self._maintainer = ParallelMaintainer(
+            executor=self.config.executor, workers=self.config.shards
+        )
+        self._shard_groups: Dict[Tuple[str, Any], ShardGroup] = {}
+        self._merged: Dict[str, MergedView] = {}
+        self._fallbacks: List[str] = []
+
+    # -- view registration --------------------------------------------------------
+
+    def _register_summary(
+        self, view_name: str, summary: Summary, materialize: bool
+    ) -> TUnion[PersistentView, MergedView]:
+        if view_name in self._merged:
+            raise ViewRegistrationError(f"view name {view_name!r} already registered")
+        spec = infer_partition(summary)
+        if spec is UNPARTITIONABLE:
+            warnings.warn(
+                f"view {view_name!r} is unpartitionable (its summary key has "
+                f"no copy lineage to every scanned chronicle); maintaining it "
+                f"on the serial shard",
+                UnpartitionableViewWarning,
+                stacklevel=4,
+            )
+            obs = obs_runtime.ACTIVE
+            if obs is not None:
+                obs.metrics.inc("shard_fallback_total", view=view_name)
+            self._fallbacks.append(view_name)
+            return super()._register_summary(view_name, summary, materialize)
+        if view_name in self.registry:
+            raise ViewRegistrationError(f"view name {view_name!r} already registered")
+        source_group = summary.expression.group
+        shard_group = self._shard_group_for(spec, source_group)
+        shard_group.add_view(view_name, summary)
+        merged = MergedView(view_name, summary, shard_group)
+        self._merged[view_name] = merged
+        if materialize:
+            self._materialize_partitioned(shard_group, view_name, summary)
+        return merged
+
+    def _shard_group_for(
+        self, spec: PartitionSpec, source_group: ChronicleGroup
+    ) -> ShardGroup:
+        key = (source_group.name, spec.canonical())
+        shard_group = self._shard_groups.get(key)
+        if shard_group is None:
+            shard_group = ShardGroup(
+                f"kc{len(self._shard_groups)}",
+                spec,
+                source_group,
+                self.config.shards,
+                compile_plans=self.config.compile_views,
+            )
+            self._shard_groups[key] = shard_group
+        return shard_group
+
+    def _materialize_partitioned(
+        self, shard_group: ShardGroup, view_name: str, summary: Summary
+    ) -> None:
+        """Initialize a new view's partitions from stored history.
+
+        Routes the retained rows of each scanned chronicle to their
+        shards and folds them into *this view only* (sibling views of
+        the key class already absorbed that history incrementally).
+        """
+        pending: Dict[int, Dict[str, List[Row]]] = {}
+        for chronicle in {c.name: c for c in summary.expression.chronicles()}.values():
+            real = self.chronicle(chronicle.name)
+            if not real.appended_count or real.retention == 0:
+                continue
+            routed = shard_group.router.route(chronicle.name, list(real.rows()))
+            for index, rows in routed.items():
+                pending.setdefault(index, {}).setdefault(
+                    chronicle.name, []
+                ).extend(rows)
+        for index, event in pending.items():
+            unit = shard_group.units[index]
+            with unit.lock:
+                view = unit.registry.view(view_name)
+                deltas = {
+                    name: Delta(unit.group[name].schema, tuple(rows))
+                    for name, rows in event.items()
+                }
+                view.apply_event(deltas)
+
+    def drop_view(self, name: str) -> None:
+        merged = self._merged.pop(name, None)
+        if merged is None:
+            super().drop_view(name)
+            return
+        merged._shard_group.remove_view(name)
+
+    def view(self, name: str) -> Any:
+        """Fetch a view handle: merged for partitioned views."""
+        merged = self._merged.get(name)
+        if merged is not None:
+            return merged
+        return super().view(name)
+
+    # -- appends ---------------------------------------------------------------------
+
+    def append(
+        self,
+        chronicle: str,
+        records: TUnion[RowValues, Sequence[RowValues]],
+        sequence_number: Optional[SequenceNumber] = None,
+        instant: Optional[float] = None,
+    ) -> Tuple[Row, ...]:
+        group = self._owning_group(chronicle)
+        rows = group.append(
+            chronicle, records, sequence_number=sequence_number, instant=instant
+        )
+        if rows and self._shard_groups:
+            pending = self._route({chronicle: rows})
+            self._dispatch(pending, group.watermark)
+        return rows
+
+    def append_simultaneous(
+        self,
+        batches: Mapping[str, TUnion[RowValues, Sequence[RowValues]]],
+        group: str = "default",
+        sequence_number: Optional[SequenceNumber] = None,
+        instant: Optional[float] = None,
+    ) -> Dict[str, Tuple[Row, ...]]:
+        owner = self.group(group)
+        stamped = owner.append_simultaneous(
+            batches, sequence_number=sequence_number, instant=instant
+        )
+        event = {name: rows for name, rows in stamped.items() if rows}
+        if event and self._shard_groups:
+            pending = self._route(event)
+            self._dispatch(pending, owner.watermark)
+        return stamped
+
+    def ingest(
+        self,
+        chronicle: str,
+        batches: Sequence[TUnion[RowValues, Sequence[RowValues]]],
+        instant: Optional[float] = None,
+    ) -> int:
+        """Group commit: admit a window of batches, maintain once per shard.
+
+        Each batch is admitted serially with its own fresh sequence
+        number (unpartitionable and periodic views are maintained per
+        batch, exactly as the serial engine would), but each shard
+        receives **one** coalesced event for the whole window — the
+        per-event fixed costs are paid once instead of ``len(batches)``
+        times.  Returns the number of records admitted.
+        """
+        group = self._owning_group(chronicle)
+        pending: Dict[ShardGroup, Dict[int, Dict[str, List[Row]]]] = {}
+        total = 0
+        for records in batches:
+            rows = group.append(chronicle, records, instant=instant)
+            total += len(rows)
+            if rows and self._shard_groups:
+                self._route({chronicle: rows}, into=pending)
+        if pending:
+            self._dispatch(pending, group.watermark)
+        return total
+
+    def _owning_group(self, chronicle: str) -> ChronicleGroup:
+        group_name = self._chronicle_group.get(chronicle)
+        if group_name is None:
+            raise ChronicleGroupError(f"no chronicle named {chronicle!r}")
+        return self.groups[group_name]
+
+    def _route(
+        self,
+        event: Mapping[str, Tuple[Row, ...]],
+        into: Optional[Dict[ShardGroup, Dict[int, Dict[str, List[Row]]]]] = None,
+    ) -> Dict[ShardGroup, Dict[int, Dict[str, List[Row]]]]:
+        """Bucket one stamped event by (key class, shard) into *into*."""
+        pending = into if into is not None else {}
+        for shard_group in self._shard_groups.values():
+            spec_chronicles = shard_group.spec.keys
+            for name, rows in event.items():
+                if name not in spec_chronicles:
+                    continue
+                routed = shard_group.router.route(name, rows)
+                units = pending.setdefault(shard_group, {})
+                for index, bucket in routed.items():
+                    units.setdefault(index, {}).setdefault(name, []).extend(bucket)
+        return pending
+
+    def _dispatch(
+        self,
+        pending: Dict[ShardGroup, Dict[int, Dict[str, List[Row]]]],
+        watermark: SequenceNumber,
+    ) -> None:
+        tasks: List[Callable[[], None]] = []
+        obs = obs_runtime.ACTIVE
+        for shard_group, units in pending.items():
+            for index, event in units.items():
+                unit = shard_group.units[index]
+                tasks.append(partial(unit.apply, event, watermark))
+                if obs is not None:
+                    obs.metrics.inc(
+                        "shard_records_total",
+                        sum(len(rows) for rows in event.values()),
+                        shard=unit.label,
+                    )
+        self._maintainer.run(tasks)
+
+    # -- stats / introspection ---------------------------------------------------------
+
+    @property
+    def stats(self) -> Dict[str, Any]:
+        """Database-wide maintenance stats merged across every registry."""
+        return ViewRegistry.merge_stats(
+            [self.registry.stats]
+            + [
+                unit.registry.stats
+                for shard_group in self._shard_groups.values()
+                for unit in shard_group.units
+            ]
+        )
+
+    def watermarks(self) -> Dict[str, SequenceNumber]:
+        """Per-shard absorption watermarks (plus the serial admission one)."""
+        marks: Dict[str, SequenceNumber] = {
+            f"serial/{name}": group.watermark for name, group in self.groups.items()
+        }
+        for shard_group in self._shard_groups.values():
+            for unit in shard_group.units:
+                marks[unit.label] = unit.watermark
+        return marks
+
+    @property
+    def fallback_views(self) -> Tuple[str, ...]:
+        """Names of views that fell back to the serial shard."""
+        return tuple(self._fallbacks)
+
+    @property
+    def partitioned_views(self) -> Tuple[str, ...]:
+        """Names of views maintained across worker shards."""
+        return tuple(sorted(self._merged))
+
+    @property
+    def shard_groups(self) -> Tuple[ShardGroup, ...]:
+        return tuple(self._shard_groups.values())
+
+    # -- gated operations -------------------------------------------------------------
+
+    def checkpoint(self, path: str) -> None:
+        raise EngineError(
+            "checkpoint/restore is not supported by the sharded engine yet "
+            "(shard routing uses the process-local hash); use engine='serial'"
+        )
+
+    def restore(self, path: str) -> None:
+        raise EngineError(
+            "checkpoint/restore is not supported by the sharded engine yet "
+            "(shard routing uses the process-local hash); use engine='serial'"
+        )
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker pool down, then the base resources."""
+        self._maintainer.close()
+        super().close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedDatabase(shards={self.config.shards}, "
+            f"key_classes={len(self._shard_groups)}, "
+            f"partitioned={sorted(self._merged)}, "
+            f"fallbacks={sorted(self._fallbacks)})"
+        )

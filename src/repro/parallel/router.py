@@ -1,0 +1,83 @@
+"""Hash-routing of transaction records to worker shards.
+
+A :class:`~repro.algebra.plan.PartitionSpec` proves that every record of
+a chronicle can only ever touch view rows whose summary key copies the
+record's *routing attributes* (copy lineage, see
+:func:`~repro.algebra.plan.infer_partition`).  The router turns that
+proof into placement: hash the routing-attribute tuple, take it modulo
+the shard count, and both the record and every view key it can produce
+land on the same shard.  A summary-key lookup hashes the key values
+themselves — the same tuple — to find the owning shard without touching
+the others.
+
+Hashing uses Python's built-in ``hash`` of the value tuple: stable
+within a process, which is all the sharded engine needs (shard state is
+rebuilt from the serial admission stream, never persisted; see
+``ShardedDatabase.checkpoint``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..algebra.plan import PartitionSpec
+from ..core.chronicle import Chronicle
+from ..relational.tuples import Row
+
+
+class ShardRouter:
+    """Routes records and summary keys for one partition key class.
+
+    Parameters
+    ----------
+    spec:
+        The partition declaration shared by every view of this key
+        class (views with *equal* specs route identically and may share
+        shard state; views with different specs must not).
+    shards:
+        Number of worker shards.
+    """
+
+    __slots__ = ("spec", "shards", "_positions")
+
+    def __init__(self, spec: PartitionSpec, shards: int) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.spec = spec
+        self.shards = shards
+        #: chronicle name -> value positions of the routing attributes.
+        self._positions: Dict[str, Tuple[int, ...]] = {}
+
+    def bind(self, chronicle: Chronicle) -> None:
+        """Precompute the routing-attribute positions for *chronicle*."""
+        attrs = self.spec.keys[chronicle.name]
+        self._positions[chronicle.name] = chronicle.schema.positions(attrs)
+
+    def shard_of_key(self, key: Sequence[Any]) -> int:
+        """The shard owning the view row at a summary *key*."""
+        return hash(tuple(key)) % self.shards
+
+    def shard_of_row(self, chronicle_name: str, row: Row) -> int:
+        """The shard a stamped record belongs to."""
+        positions = self._positions[chronicle_name]
+        values = row.values
+        return hash(tuple(values[p] for p in positions)) % self.shards
+
+    def route(
+        self, chronicle_name: str, rows: Sequence[Row]
+    ) -> Dict[int, List[Row]]:
+        """Partition stamped *rows* by owning shard (order-preserving)."""
+        positions = self._positions[chronicle_name]
+        shards = self.shards
+        out: Dict[int, List[Row]] = {}
+        for row in rows:
+            values = row.values
+            index = hash(tuple(values[p] for p in positions)) % shards
+            bucket = out.get(index)
+            if bucket is None:
+                bucket = out[index] = []
+            bucket.append(row)
+        return out
+
+    def __repr__(self) -> str:
+        return f"ShardRouter({self.spec!r}, shards={self.shards})"

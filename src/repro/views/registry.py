@@ -21,10 +21,16 @@ Section 5.2).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from ..algebra.ast import ChronicleScan, Node, Select
-from ..algebra.plan import CompiledPlan, PlanCompiler, compile_prefilter
+from ..algebra.plan import (
+    UNPARTITIONABLE,
+    CompiledPlan,
+    PlanCompiler,
+    compile_prefilter,
+    infer_partition,
+)
 from ..core.chronicle import maintenance_guard
 from ..core.delta import Delta
 from ..core.group import ChronicleGroup
@@ -82,13 +88,17 @@ class RegisteredView:
     per-row attribute-name resolution on the append path.
     """
 
-    __slots__ = ("view", "prefilters", "root", "plan", "_compiled_prefilters")
+    __slots__ = ("view", "prefilters", "root", "plan", "partition", "_compiled_prefilters")
 
     def __init__(self, view: PersistentView) -> None:
         self.view = view
         self.prefilters = scan_prefilters(view.expression)
         self.root: Optional[Node] = None
         self.plan: Optional[CompiledPlan] = None
+        #: Partition declaration (PartitionSpec or UNPARTITIONABLE) —
+        #: the sharded engine routes records by it; compiled plans carry
+        #: the same declaration.
+        self.partition = infer_partition(view.summary)
         self._compiled_prefilters: Optional[
             Dict[str, Optional[Callable[[Tuple[Row, ...]], bool]]]
         ] = None
@@ -234,6 +244,51 @@ class ViewRegistry:
     def __len__(self) -> int:
         return len(self._views) + len(self._periodic)
 
+    def partition_of(self, name: str) -> Any:
+        """The partition declaration of a registered persistent view.
+
+        Returns the view's :class:`~repro.algebra.plan.PartitionSpec`,
+        or :data:`~repro.algebra.plan.UNPARTITIONABLE` for views whose
+        keys straddle partitions (periodic view sets are always
+        unpartitionable — they carry interval state of their own).
+        """
+        registered = self._views.get(name)
+        if registered is not None:
+            return registered.partition
+        if name in self._periodic:
+            return UNPARTITIONABLE
+        raise ViewRegistrationError(f"no view named {name!r}")
+
+    @staticmethod
+    def merge_stats(many: "Iterable[Dict[str, Any]]") -> Dict[str, Any]:
+        """Merge several registries' :attr:`stats` dicts into one.
+
+        The sharded engine keeps one registry per shard; this produces
+        the database-wide view: numeric keys are summed, ``per_view``
+        entries merge by view name (span counts summed, the most recent
+        last-append latency kept — i.e. the max, since shards of one
+        batch finish within the same append).
+        """
+        merged: Dict[str, Any] = {}
+        per_view: Dict[str, Dict[str, float]] = {}
+        for stats in many:
+            for key, value in stats.items():
+                if key == "per_view":
+                    for name, values in value.items():
+                        into = per_view.setdefault(
+                            name, {"spans": 0, "last_append_seconds": 0.0}
+                        )
+                        into["spans"] += values.get("spans", 0)
+                        into["last_append_seconds"] = max(
+                            into["last_append_seconds"],
+                            values.get("last_append_seconds", 0.0),
+                        )
+                else:
+                    merged[key] = merged.get(key, 0) + value
+        if per_view:
+            merged["per_view"] = per_view
+        return merged
+
     @property
     def stats(self) -> Dict[str, Any]:
         """Routing statistics for every event seen by this registry.
@@ -271,7 +326,9 @@ class ViewRegistry:
         if self._compiler is None or not self._plans_stale:
             return
         for registered in self._views.values():
-            registered.plan = self._compiler.compile(registered.root)
+            registered.plan = self._compiler.compile(
+                registered.root, partition=registered.partition
+            )
         self._plans_stale = False
 
     def interned_expression(self, name: str) -> Node:

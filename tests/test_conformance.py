@@ -10,7 +10,7 @@ chronicle product as NON-conformant with cost growing in |C|.
 
 import pytest
 
-from repro import ChronicleDatabase
+from repro import ChronicleDatabase, DatabaseConfig
 from repro.algebra.ast import ChronicleProduct, scan
 from repro.algebra.classify import IMClass, Language
 from repro.complexity.fitting import GrowthClass, classify_growth, mad, median
@@ -29,7 +29,7 @@ def _clean_runtime():
 
 
 def make_db(**kwargs):
-    db = ChronicleDatabase(**kwargs)
+    db = ChronicleDatabase(config=DatabaseConfig(**kwargs))
     db.create_chronicle("flights", [("acct", "INT"), ("miles", "INT")])
     db.define_view(
         "DEFINE VIEW balance AS "

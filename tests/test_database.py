@@ -68,7 +68,7 @@ class TestViews:
         db.append("calls", {"caller": 1, "minutes": 10, "day": 0})
         db.append("calls", {"caller": 1, "minutes": 5, "day": 0})
         assert db.view_value("usage", (1,), "total") == 15
-        assert db.query_view("usage", (2,)) is None
+        assert db.view_row("usage", (2,)) is None
 
     def test_programmatic_view(self, db):
         calls = db.chronicle("calls")

@@ -13,7 +13,7 @@ import urllib.request
 
 import pytest
 
-from repro import ChronicleDatabase
+from repro import ChronicleDatabase, DatabaseConfig
 from repro.errors import ObservabilityError
 from repro.obs import (
     JsonlSpanSink,
@@ -35,7 +35,7 @@ def _clean_runtime():
 
 
 def make_db(**kwargs):
-    db = ChronicleDatabase(**kwargs)
+    db = ChronicleDatabase(config=DatabaseConfig(**kwargs))
     db.create_chronicle("calls", [("caller", "INT"), ("minutes", "INT")])
     db.define_view(
         "DEFINE VIEW usage AS "

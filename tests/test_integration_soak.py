@@ -16,6 +16,7 @@ import random
 
 import pytest
 
+from repro.core.config import DatabaseConfig
 from repro.core.database import ChronicleDatabase
 from repro.storage.checkpoint import checkpoint_database, restore_database
 
@@ -24,7 +25,7 @@ STATES = ("NJ", "NY", "CT")
 
 
 def build(prefilter=True):
-    db = ChronicleDatabase(prefilter_views=prefilter)
+    db = ChronicleDatabase(config=DatabaseConfig(prefilter_views=prefilter))
     db.create_chronicle(
         "calls",
         [("caller", "INT"), ("minutes", "INT"), ("day", "INT")],

@@ -14,7 +14,7 @@ import warnings
 
 import pytest
 
-from repro import ChronicleDatabase
+from repro import ChronicleDatabase, DatabaseConfig
 from repro.complexity.counters import GLOBAL_COUNTERS
 from repro.errors import MaintenanceAuditError, ObservabilityError
 from repro.obs import (
@@ -37,7 +37,7 @@ def _clean_runtime():
 
 
 def make_db(**kwargs):
-    db = ChronicleDatabase(**kwargs)
+    db = ChronicleDatabase(config=DatabaseConfig(**kwargs))
     db.create_chronicle("calls", [("caller", "INT"), ("minutes", "INT")], retention=0)
     db.define_view(
         "DEFINE VIEW usage AS "

@@ -1,0 +1,536 @@
+"""Tests for the sharded parallel maintenance engine and the config facade.
+
+Covers partition inference (copy lineage -> PartitionSpec, the
+UNPARTITIONABLE cases), the shard-determinism property (sharded N-worker
+state must equal serial state after arbitrary interleaved batch appends,
+for every workload generator), the serial-shard fallback (warning +
+metric), snapshot reads through MergedView, DatabaseConfig validation
+and the deprecated-keyword shim, engine selection, the gated process
+executor and checkpoint paths, and exporter lifetime (close(), context
+manager, GC finalizer).
+"""
+
+import gc
+import urllib.error
+import urllib.request
+import warnings
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    BankingWorkload,
+    ChronicleDatabase,
+    CreditCardWorkload,
+    DatabaseConfig,
+    FrequentFlyerWorkload,
+    SensorWorkload,
+    StockWorkload,
+    TelecomWorkload,
+)
+from repro.aggregates import COUNT, MAX, SUM, spec
+from repro.algebra.ast import scan
+from repro.algebra.plan import UNPARTITIONABLE, PartitionSpec, infer_partition
+from repro.core.config import DatabaseConfig as ConfigAlias
+from repro.errors import ConfigError, EngineError
+from repro.obs import runtime as obs_runtime
+from repro.parallel import (
+    ShardedDatabase,
+    ShardRouter,
+    UnpartitionableViewWarning,
+)
+from repro.relational.predicate import attr_cmp, attr_eq
+from repro.sca.summarize import GroupBySummary
+
+
+@pytest.fixture(autouse=True)
+def _clean_runtime():
+    assert obs_runtime.ACTIVE is None
+    yield
+    obs_runtime.ACTIVE = None
+
+
+#: (workload class, grouping attribute, summed attribute) — one entry
+#: per application domain shipped with the repro.
+WORKLOADS = [
+    (BankingWorkload, "acct", "cents"),
+    (TelecomWorkload, "caller", "seconds"),
+    (CreditCardWorkload, "card", "cents"),
+    (FrequentFlyerWorkload, "acct", "miles"),
+    (StockWorkload, "symbol", "shares"),
+    (SensorWorkload, "sensor", "milli"),
+]
+
+VIEW_NAMES = ("by_key", "filtered", "grand")
+
+
+def _build(workload_cls, key, value, config=None):
+    """A database over *workload_cls*'s chronicle with three views:
+    grouped, filtered-grouped (both partitionable), and a global
+    aggregate (unpartitionable -> serial-shard fallback)."""
+    db = ChronicleDatabase(config=config)
+    workload = workload_cls(seed=7)
+    db.create_chronicle(workload.NAME, workload.CHRONICLE_SCHEMA)
+    chron = db.chronicle(workload.NAME)
+    db.define_view(
+        GroupBySummary(scan(chron), [key], [spec(SUM, value), spec(COUNT)]),
+        name="by_key",
+    )
+    db.define_view(
+        GroupBySummary(
+            scan(chron).select(attr_cmp(value, ">", 10)),
+            [key],
+            [spec(COUNT), spec(MAX, value)],
+        ),
+        name="filtered",
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", UnpartitionableViewWarning)
+        db.define_view(
+            GroupBySummary(scan(chron), [], [spec(SUM, value), spec(COUNT)]),
+            name="grand",
+        )
+    return db, workload
+
+
+def _state(db):
+    return {
+        name: sorted(tuple(row.values) for row in db.view(name).rows())
+        for name in VIEW_NAMES
+    }
+
+
+# ---------------------------------------------------------------------------
+# Partition inference
+# ---------------------------------------------------------------------------
+
+
+class TestPartitionInference:
+    def _chronicles(self):
+        db = ChronicleDatabase()
+        db.create_chronicle("a", [("acct", "INT"), ("cents", "INT")])
+        db.create_chronicle("b", [("acct", "INT"), ("fee", "INT")])
+        return db.chronicle("a"), db.chronicle("b")
+
+    def test_grouped_view_partitions_on_copied_key(self):
+        a, _ = self._chronicles()
+        summary = GroupBySummary(scan(a), ["acct"], [spec(SUM, "cents")])
+        part = infer_partition(summary)
+        assert isinstance(part, PartitionSpec)
+        assert part.keys == {"a": ("acct",)}
+
+    def test_select_and_union_preserve_lineage(self):
+        a, b = self._chronicles()
+        node = (
+            scan(a)
+            .select(attr_cmp("cents", ">", 0))
+            .project(["sn", "acct", "cents"])
+        )
+        part = infer_partition(GroupBySummary(node, ["acct"], [spec(COUNT)]))
+        assert part.keys == {"a": ("acct",)}
+        union = scan(a).project(["sn", "acct"]).union(scan(b).project(["sn", "acct"]))
+        part = infer_partition(GroupBySummary(union, ["acct"], [spec(COUNT)]))
+        assert part.keys == {"a": ("acct",), "b": ("acct",)}
+
+    def test_global_aggregate_is_unpartitionable(self):
+        a, _ = self._chronicles()
+        summary = GroupBySummary(scan(a), [], [spec(SUM, "cents")])
+        assert infer_partition(summary) is UNPARTITIONABLE
+
+    def test_seq_join_is_unpartitionable(self):
+        a, b = self._chronicles()
+        summary = GroupBySummary(
+            scan(a).join(scan(b)), ["acct"], [spec(COUNT)]
+        )
+        assert infer_partition(summary) is UNPARTITIONABLE
+
+    def test_aggregate_sourced_key_is_unpartitionable(self):
+        # The grouping key must have copy lineage to the base; a key
+        # that is itself an aggregate output cannot route records.
+        a, _ = self._chronicles()
+        summary = GroupBySummary(scan(a), ["cents"], [spec(COUNT)])
+        part = infer_partition(summary)
+        assert part is not UNPARTITIONABLE  # cents IS copied
+        assert part.keys == {"a": ("cents",)}
+
+    def test_spec_equality_and_canonical(self):
+        s1 = PartitionSpec({"a": ("acct",), "b": ("acct",)})
+        s2 = PartitionSpec({"b": ("acct",), "a": ("acct",)})
+        assert s1 == s2
+        assert hash(s1) == hash(s2)
+        assert s1.canonical() == s2.canonical()
+
+
+class TestShardRouter:
+    def test_same_key_same_shard(self):
+        spec_ = PartitionSpec({"a": ("acct",)})
+        router = ShardRouter(spec_, shards=4)
+        assert router.shard_of_key((42,)) == router.shard_of_key((42,))
+        assert 0 <= router.shard_of_key((42,)) < 4
+
+
+# ---------------------------------------------------------------------------
+# Shard determinism (the ISSUE's property test)
+# ---------------------------------------------------------------------------
+
+
+class TestShardDeterminism:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        workload_index=st.integers(min_value=0, max_value=len(WORKLOADS) - 1),
+        shards=st.integers(min_value=1, max_value=4),
+        executor=st.sampled_from(["thread", "serial"]),
+        batch_sizes=st.lists(
+            st.integers(min_value=1, max_value=7), min_size=1, max_size=10
+        ),
+        window_cut=st.integers(min_value=1, max_value=4),
+        data=st.data(),
+    )
+    def test_sharded_equals_serial(
+        self, workload_index, shards, executor, batch_sizes, window_cut, data
+    ):
+        workload_cls, key, value = WORKLOADS[workload_index]
+        serial, workload = _build(workload_cls, key, value)
+        sharded, _ = _build(
+            workload_cls,
+            key,
+            value,
+            config=DatabaseConfig(
+                engine="sharded", shards=shards, executor=executor
+            ),
+        )
+        try:
+            records = list(workload.records(sum(batch_sizes)))
+            batches, offset = [], 0
+            for size in batch_sizes:
+                batches.append(records[offset : offset + size])
+                offset += size
+            # Serial: one maintenance event per batch.  Sharded: the
+            # same batches, but delivered through an arbitrary mix of
+            # per-batch appends and coalesced ingest windows.
+            for batch in batches:
+                serial.append(workload.NAME, batch)
+            offset = 0
+            while offset < len(batches):
+                size = data.draw(
+                    st.integers(min_value=1, max_value=window_cut),
+                    label="window",
+                )
+                window = batches[offset : offset + size]
+                if len(window) == 1 and data.draw(st.booleans(), label="direct"):
+                    sharded.append(workload.NAME, window[0])
+                else:
+                    sharded.ingest(workload.NAME, window)
+                offset += size
+
+            assert _state(serial) == _state(sharded)
+            # Key-routed point reads agree with the serial engine.
+            for row in serial.view("by_key").rows():
+                view_key = row.values[: len([key])]
+                assert sharded.view_value(
+                    "by_key", view_key, f"sum_{value}"
+                ) == serial.view_value("by_key", view_key, f"sum_{value}")
+                break
+            watermarks = sharded.watermarks()
+            (serial_wm,) = [
+                wm for k, wm in watermarks.items() if k.startswith("serial/")
+            ]
+            # A unit's watermark is the sequence number of the last
+            # event routed to it: never ahead of admission, and the
+            # final record's shard has absorbed exactly up to it.
+            unit_wms = [
+                wm for k, wm in watermarks.items() if not k.startswith("serial/")
+            ]
+            assert all(wm <= serial_wm for wm in unit_wms)
+            assert max(unit_wms) == serial_wm
+        finally:
+            serial.close()
+            sharded.close()
+
+
+# ---------------------------------------------------------------------------
+# Serial-shard fallback
+# ---------------------------------------------------------------------------
+
+
+class TestFallback:
+    def test_unpartitionable_view_warns_and_counts(self):
+        db = ChronicleDatabase(
+            config=DatabaseConfig(engine="sharded", shards=2, observe=True)
+        )
+        try:
+            db.create_chronicle("calls", [("caller", "INT"), ("minutes", "INT")])
+            chron = db.chronicle("calls")
+            with pytest.warns(UnpartitionableViewWarning):
+                db.define_view(
+                    GroupBySummary(scan(chron), [], [spec(SUM, "minutes")]),
+                    name="grand",
+                )
+            assert db.fallback_views == ("grand",)
+            assert (
+                db.observability.metrics.value("shard_fallback_total", view="grand")
+                == 1
+            )
+            # The fallback view is maintained by the serial registry.
+            db.append("calls", {"caller": 1, "minutes": 5})
+            db.append("calls", {"caller": 2, "minutes": 7})
+            assert db.view_value("grand", (), "sum_minutes") == 12
+        finally:
+            db.close()
+
+    def test_fallback_warning_is_not_a_deprecation(self):
+        # CI runs with -W error::DeprecationWarning; the fallback must
+        # not trip that gate.
+        assert not issubclass(UnpartitionableViewWarning, DeprecationWarning)
+        assert issubclass(UnpartitionableViewWarning, UserWarning)
+
+    def test_serial_engine_never_warns(self):
+        db = ChronicleDatabase()
+        db.create_chronicle("calls", [("caller", "INT"), ("minutes", "INT")])
+        chron = db.chronicle("calls")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", UnpartitionableViewWarning)
+            db.define_view(
+                GroupBySummary(scan(chron), [], [spec(COUNT)]), name="grand"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Merged reads
+# ---------------------------------------------------------------------------
+
+
+class TestMergedView:
+    def test_reads_union_all_shards(self):
+        db, workload = _build(
+            BankingWorkload,
+            "acct",
+            "cents",
+            config=DatabaseConfig(engine="sharded", shards=3),
+        )
+        try:
+            db.ingest("transactions", [list(workload.records(40))])
+            view = db.view("by_key")
+            rows = list(view.rows())
+            assert len(rows) == len(view)
+            assert {tuple(r.values) for r in iter(view)} == {
+                tuple(r.values) for r in rows
+            }
+            some_key = rows[0].values[:1]
+            assert view.lookup(some_key) is not None
+            assert db.view_row("by_key", some_key) is not None
+            table = view.to_table()
+            assert len(table.rows) == len(rows)
+        finally:
+            db.close()
+
+    def test_partitioned_views_listed(self):
+        db, _ = _build(
+            BankingWorkload,
+            "acct",
+            "cents",
+            config=DatabaseConfig(engine="sharded", shards=2),
+        )
+        try:
+            assert db.partitioned_views == ("by_key", "filtered")
+            assert db.fallback_views == ("grand",)
+            assert isinstance(db.stats, dict)
+        finally:
+            db.close()
+
+    def test_late_view_materializes_from_history(self):
+        db = ChronicleDatabase(config=DatabaseConfig(engine="sharded", shards=2))
+        try:
+            db.create_chronicle("calls", [("caller", "INT"), ("minutes", "INT")])
+            chron = db.chronicle("calls")
+            db.append("calls", [{"caller": 1, "minutes": 5}, {"caller": 2, "minutes": 3}])
+            db.append("calls", {"caller": 1, "minutes": 2})
+            db.define_view(
+                GroupBySummary(scan(chron), ["caller"], [spec(SUM, "minutes")]),
+                name="usage",
+            )
+            assert db.view_value("usage", (1,), "sum_minutes") == 7
+            db.append("calls", {"caller": 1, "minutes": 1})
+            assert db.view_value("usage", (1,), "sum_minutes") == 8
+        finally:
+            db.close()
+
+
+# ---------------------------------------------------------------------------
+# DatabaseConfig and the facade
+# ---------------------------------------------------------------------------
+
+
+class TestDatabaseConfig:
+    def test_defaults(self):
+        config = DatabaseConfig()
+        assert config.engine == "serial"
+        assert config.shards == 4
+        assert config.executor == "thread"
+        assert config.prefilter_views and config.compile_views
+        assert not config.observe
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DatabaseConfig().engine = "sharded"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"engine": "quantum"},
+            {"shards": 0},
+            {"shards": -1},
+            {"executor": "fork"},
+            {"audit_mode": "loud"},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            DatabaseConfig(**kwargs)
+
+    def test_replace(self):
+        config = DatabaseConfig().replace(engine="sharded", shards=2)
+        assert (config.engine, config.shards) == ("sharded", 2)
+        with pytest.raises(ConfigError):
+            DatabaseConfig().replace(nonsense=True)
+
+    def test_reexported_from_package_root(self):
+        assert DatabaseConfig is ConfigAlias
+
+    def test_database_exposes_config(self):
+        config = DatabaseConfig(prefilter_views=False)
+        db = ChronicleDatabase(config=config)
+        assert db.config is config
+
+
+class TestLegacyShim:
+    def test_legacy_keywords_warn_and_apply(self):
+        with pytest.deprecated_call():
+            db = ChronicleDatabase(prefilter_views=False, compile_views=False)
+        assert db.config.prefilter_views is False
+        assert db.config.compile_views is False
+
+    def test_legacy_keywords_merge_into_config(self):
+        with pytest.deprecated_call():
+            db = ChronicleDatabase(
+                config=DatabaseConfig(shards=2), prefilter_views=False
+            )
+        assert db.config.shards == 2
+        assert db.config.prefilter_views is False
+
+    def test_config_only_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            ChronicleDatabase(config=DatabaseConfig(prefilter_views=False))
+
+    def test_query_view_alias(self):
+        db = ChronicleDatabase()
+        db.create_chronicle("calls", [("caller", "INT"), ("minutes", "INT")])
+        db.define_view(
+            "DEFINE VIEW usage AS "
+            "SELECT caller, SUM(minutes) AS total FROM calls GROUP BY caller"
+        )
+        db.append("calls", {"caller": 1, "minutes": 5})
+        assert db.view_row("usage", (1,)) is not None
+        with pytest.deprecated_call():
+            row = db.query_view("usage", (1,))
+        assert row == db.view_row("usage", (1,))
+
+
+class TestEngineSelection:
+    def test_sharded_config_builds_sharded_database(self):
+        db = ChronicleDatabase(config=DatabaseConfig(engine="sharded"))
+        try:
+            assert isinstance(db, ShardedDatabase)
+        finally:
+            db.close()
+
+    def test_serial_config_builds_plain_database(self):
+        db = ChronicleDatabase()
+        assert not isinstance(db, ShardedDatabase)
+
+    def test_direct_construction_forces_engine(self):
+        db = ShardedDatabase(config=DatabaseConfig(shards=2))
+        try:
+            assert db.config.engine == "sharded"
+        finally:
+            db.close()
+
+    def test_ingest_on_serial_engine(self):
+        db = ChronicleDatabase()
+        db.create_chronicle("calls", [("caller", "INT"), ("minutes", "INT")])
+        db.define_view(
+            "DEFINE VIEW usage AS "
+            "SELECT caller, SUM(minutes) AS total FROM calls GROUP BY caller"
+        )
+        admitted = db.ingest(
+            "calls",
+            [
+                [{"caller": 1, "minutes": 5}],
+                [{"caller": 1, "minutes": 2}, {"caller": 2, "minutes": 1}],
+            ],
+        )
+        assert admitted == 3
+        assert db.view_value("usage", (1,), "total") == 7
+
+
+class TestGatedPaths:
+    def test_process_executor_is_gated(self):
+        with pytest.raises(EngineError):
+            ChronicleDatabase(
+                config=DatabaseConfig(engine="sharded", executor="process")
+            )
+
+    def test_checkpoint_is_gated(self, tmp_path):
+        db = ChronicleDatabase(config=DatabaseConfig(engine="sharded"))
+        try:
+            with pytest.raises(EngineError):
+                db.checkpoint(str(tmp_path / "ckpt"))
+            with pytest.raises(EngineError):
+                db.restore(str(tmp_path / "ckpt"))
+        finally:
+            db.close()
+
+
+# ---------------------------------------------------------------------------
+# Exporter lifetime (the serve_metrics leak fix)
+# ---------------------------------------------------------------------------
+
+
+def _assert_down(url):
+    with pytest.raises(urllib.error.URLError):
+        urllib.request.urlopen(url + "/metrics", timeout=2)
+
+
+class TestExporterLifetime:
+    def test_close_stops_serving_thread(self):
+        db = ChronicleDatabase(config=DatabaseConfig(observe=True))
+        server = db.serve_metrics(port=0)
+        with urllib.request.urlopen(server.url + "/metrics", timeout=5) as response:
+            assert response.status == 200
+        db.close()
+        _assert_down(server.url)
+
+    def test_close_is_idempotent(self):
+        db = ChronicleDatabase(config=DatabaseConfig(observe=True))
+        db.serve_metrics(port=0)
+        db.close()
+        db.close()
+
+    def test_context_manager_scopes_exporter(self):
+        with ChronicleDatabase(config=DatabaseConfig(observe=True)) as db:
+            server = db.serve_metrics(port=0)
+            with urllib.request.urlopen(server.url + "/metrics", timeout=5) as r:
+                assert r.status == 200
+        _assert_down(server.url)
+
+    def test_gc_stops_abandoned_exporter(self):
+        db = ChronicleDatabase(config=DatabaseConfig(observe=True))
+        server = db.serve_metrics(port=0)
+        url = server.url
+        obs_runtime.ACTIVE = None  # drop the runtime's reference too
+        del server
+        del db
+        gc.collect()
+        _assert_down(url)
