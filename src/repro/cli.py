@@ -15,6 +15,7 @@ commands::
     SHOW VIEW usage;
     SHOW CATALOG;
     SHOW STATS;
+    SHOW HEALTH;
     TRACE 3;
     CERTIFY usage;
     SERVE METRICS 9464;
@@ -23,7 +24,9 @@ commands::
     RESTORE /tmp/db.ckpt;
 
 ``SHOW STATS`` prints the registry routing statistics and the metrics
-snapshot; ``TRACE n`` prints the last *n* append traces (span trees with
+snapshot; ``SHOW HEALTH`` evaluates the session's SLO policy and prints
+the OK/DEGRADED/FAILING report (with per-shard lag when sharded);
+``TRACE n`` prints the last *n* append traces (span trees with
 wall time and cost-counter diffs).  ``CERTIFY view`` runs the empirical
 conformance sweeps of :mod:`repro.obs.conformance` against the view —
 note this appends synthesized drive records to the view's chronicle —
@@ -257,7 +260,14 @@ class Session:
             return self._show_stats()
         if target == "SHARDS":
             return self._show_shards()
+        if target == "HEALTH":
+            return self._show_health()
         raise CliError(f"SHOW: unknown target {target!r}")
+
+    def _show_health(self) -> str:
+        obs = self._observability()
+        report = obs.health()
+        return "\n".join("  " + line for line in report.format().splitlines())
 
     def _show_shards(self) -> str:
         shard_groups = getattr(self.db, "shard_groups", None)

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field, fields, replace
 from typing import Any, Optional
 
 from ..errors import ConfigError
+from ..obs.health import SloPolicy
 
 #: Supported maintenance engines.
 ENGINES = ("serial", "sharded")
@@ -61,6 +62,11 @@ class DatabaseConfig:
     audit_mode:
         Auditor mode used when *observe* builds the handle
         (``"off"`` / ``"warn"`` / ``"raise"``).
+    slo:
+        The :class:`~repro.obs.health.SloPolicy` health evaluation
+        (``/health``, ``SHOW HEALTH``, :meth:`ChronicleDatabase.health`)
+        runs against when *observe* builds the handle.  ``None`` — the
+        default policy.
     aggregates:
         Aggregate registry for the view language (``None`` — a fresh
         copy of the standard registry).
@@ -73,9 +79,14 @@ class DatabaseConfig:
     compile_views: bool = True
     observe: bool = False
     audit_mode: str = "warn"
+    slo: Optional[SloPolicy] = None
     aggregates: Optional[Any] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
+        if self.slo is not None and not isinstance(self.slo, SloPolicy):
+            raise ConfigError(
+                f"slo must be an SloPolicy or None, got {type(self.slo).__name__}"
+            )
         if self.engine not in ENGINES:
             raise ConfigError(
                 f"unknown engine {self.engine!r}; expected one of {ENGINES}"

@@ -35,7 +35,7 @@ import weakref
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..aggregates.registry import AggregateRegistry, default_registry
-from ..errors import ChronicleGroupError, ViewRegistrationError
+from ..errors import ChronicleGroupError, ObservabilityError, ViewRegistrationError
 from ..obs import Observability
 from ..query.compiler import Catalog, Compiler
 from ..relational.schema import Schema
@@ -167,7 +167,9 @@ class ChronicleDatabase:
                 obs = self._observability
             else:
                 config.setdefault("audit", self.config.audit_mode)
+                config.setdefault("slo", self.config.slo)
                 obs = Observability(**config)
+        obs.bind_database(self)
         self._observability = obs
         return obs.install() if install else obs
 
@@ -204,8 +206,8 @@ class ChronicleDatabase:
 
         Enables observability (installing it) if it is not enabled yet,
         then serves ``/metrics`` (Prometheus text), ``/certificates``,
-        and ``/snapshot`` on *port* (0 = ephemeral).  Returns the
-        :class:`~repro.obs.exporters.MetricsServer`.
+        ``/snapshot``, and ``/health`` on *port* (0 = ephemeral).
+        Returns the :class:`~repro.obs.exporters.MetricsServer`.
 
         The exporter's serving thread is tied to this database's
         lifetime: :meth:`close` stops it, and a finalizer stops it if
@@ -521,6 +523,51 @@ class ChronicleDatabase:
     def stats(self) -> Dict[str, Any]:
         """Maintenance/routing statistics (merged across shards when sharded)."""
         return self.registry.stats
+
+    def watermarks(self) -> Dict[str, Any]:
+        """Per-group admission watermarks (per-shard too when sharded)."""
+        return {
+            f"serial/{name}": group.watermark for name, group in self.groups.items()
+        }
+
+    # -- health & incidents ------------------------------------------------------------
+
+    def health(self) -> Any:
+        """Evaluate this database's SLO policy; returns a HealthReport.
+
+        Requires observability to be enabled (``observe=True`` or
+        :meth:`enable_observability`) — health is defined over the
+        metrics, auditor, and shard watermarks that layer collects.
+        """
+        obs = self._observability
+        if obs is None:
+            raise ObservabilityError(
+                "health requires observability; enable it with "
+                "ChronicleDatabase(config=DatabaseConfig(observe=True)) "
+                "or db.enable_observability()"
+            )
+        return obs.health()
+
+    def dump_incident(
+        self, reason: str = "manual", path: Optional[str] = None
+    ) -> Optional[str]:
+        """Pull the flight-recorder tape by hand; returns the bundle path.
+
+        Captures the recorder ring plus watermarks, registry stats, and
+        the metrics snapshot into a JSON incident bundle — the same
+        bundle automatic triggers (auditor violation, shard-worker
+        error, SLO breach) write.  With *path* the bundle goes exactly
+        there; otherwise it lands in the observability handle's
+        ``incident_dir`` (``None`` means nothing is written and ``None``
+        is returned — the trigger still lands in the ring).
+        """
+        obs = self._observability
+        if obs is None:
+            raise ObservabilityError(
+                "dump_incident requires observability; enable it with "
+                "db.enable_observability()"
+            )
+        return obs.incident(reason, path=path)
 
     # -- durability --------------------------------------------------------------------
 

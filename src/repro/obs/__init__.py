@@ -37,6 +37,14 @@ from .exporters import (
     attribution_tree,
     format_attribution,
 )
+from .health import (
+    HealthCheck,
+    HealthReport,
+    ShardHealth,
+    ShardLag,
+    SloPolicy,
+    evaluate_health,
+)
 from .metrics import (
     Counter,
     DEFAULT_LATENCY_BUCKETS,
@@ -44,6 +52,7 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
+from .recorder import FlightRecorder, summarize_span
 from .runtime import get as get_observability
 from .tracer import Span, Tracer
 
@@ -76,18 +85,26 @@ __all__ = [
     "ConformanceProfiler",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "FlightRecorder",
     "Gauge",
+    "HealthCheck",
+    "HealthReport",
     "Histogram",
     "JsonlSpanSink",
     "MetricsRegistry",
     "MetricsServer",
     "Observability",
+    "ShardHealth",
+    "ShardLag",
+    "SloPolicy",
     "Span",
     "SweepVerdict",
     "Tracer",
     "attribution_tree",
     "certify_expression",
+    "evaluate_health",
     "format_attribution",
     "get_observability",
     "schema_record_factory",
+    "summarize_span",
 ]

@@ -26,16 +26,32 @@ Span names are the contract between the hooks and this bridge:
     One operator delta step (compiled plan step or interpreter node).
     Metrics: ``operator_invocations_total{operator,engine}``,
     ``operator_delta_rows_total{operator,engine}``.
+``ingest``
+    One sharded write window (admission through all-shards-visible —
+    the end-to-end freshness gap).  Metrics:
+    ``ingest_windows_total{group}``, ``ingest_visibility_seconds{group}``.
+``shard_apply``
+    One coalesced window applied by a shard worker.  Metrics:
+    ``shard_batches_total{shard}``, ``shard_apply_seconds{shard}``.
+
+Every finished *root* span is additionally summarized into the
+:class:`~repro.obs.recorder.FlightRecorder` ring, and listener
+exceptions are swallowed and counted
+(``span_listener_errors_total{listener}``) so a broken exporter can
+never abort the maintenance path.
 """
 
 from __future__ import annotations
 
+import weakref
 from typing import Any, Callable, Dict, List, Optional
 
-from ..errors import ObservabilityError
+from ..errors import MaintenanceAuditError, ObservabilityError
 from . import runtime
 from .auditor import Auditor
+from .health import HealthReport, SloPolicy, evaluate_health
 from .metrics import MetricsRegistry
+from .recorder import FlightRecorder, summarize_span
 from .tracer import Span, Tracer
 
 
@@ -57,6 +73,16 @@ class Observability:
         Permitted ``view_read`` count per maintenance span (default 0).
     ring:
         Trace ring-buffer capacity.
+    slo:
+        The :class:`~repro.obs.health.SloPolicy` the ``/health`` route
+        and :meth:`health` evaluate against (``None`` — the default
+        policy).
+    incident_dir:
+        Directory where the flight recorder writes incident bundles on
+        triggers (auditor violation, shard-worker error, SLO breach).
+        ``None`` (the default) keeps the in-memory ring but never
+        touches disk automatically; explicit
+        :meth:`incident`/``dump_incident(path=...)`` calls still work.
     """
 
     def __init__(
@@ -66,6 +92,8 @@ class Observability:
         audit: str = "warn",
         view_read_limit: int = 0,
         ring: int = 256,
+        slo: Optional[SloPolicy] = None,
+        incident_dir: Optional[str] = None,
     ) -> None:
         self.metrics = MetricsRegistry()
         self.auditor = Auditor(
@@ -78,8 +106,14 @@ class Observability:
         #: published by :class:`~repro.obs.conformance.ConformanceProfiler`
         #: and served on the ``/certificates`` HTTP route.
         self.certificates: Dict[str, Dict[str, Any]] = {}
+        #: The SLO policy health evaluation uses (None = defaults).
+        self.slo = slo
+        #: The black-box ring + incident dumper.
+        self.recorder = FlightRecorder(directory=incident_dir)
         self._span_listeners: List[Callable[[Span], None]] = []
         self._server: Optional[Any] = None
+        self._db_ref: Optional["weakref.ReferenceType[Any]"] = None
+        self._last_health_status = "OK"
 
     # -- installation ------------------------------------------------------------------
 
@@ -108,8 +142,9 @@ class Observability:
 
         :class:`~repro.obs.exporters.JsonlSpanSink` is the canonical
         listener: it ignores non-root spans and streams each completed
-        trace to disk.  Listener exceptions propagate — a broken sink on
-        the append path should be loud, not silent.
+        trace to disk.  Listener exceptions are swallowed and counted
+        (``span_listener_errors_total{listener=<type name>}``) — a
+        closed sink must degrade the export, never the append path.
         """
         self._span_listeners.append(listener)
 
@@ -153,7 +188,23 @@ class Observability:
             metrics.observe(
                 "view_maintain_seconds", span.duration, view=view, engine=engine
             )
-            self.auditor.check_span(span)
+            try:
+                violations = self.auditor.check_span(span)
+            except MaintenanceAuditError as exc:
+                # Raise-mode: freeze the black box before the append
+                # aborts — this is exactly the moment the tape matters.
+                self.incident(
+                    "auditor-violation",
+                    error=str(exc),
+                    span=summarize_span(span),
+                )
+                raise
+            if violations:
+                self.incident(
+                    "auditor-violation",
+                    violations=[v.describe() for v in violations],
+                    span=summarize_span(span),
+                )
         elif name == "delta":
             operator = str(span.attrs.get("operator", "?"))
             engine = str(span.attrs.get("engine", "?"))
@@ -178,11 +229,94 @@ class Observability:
             # One coalesced maintenance window applied by a shard worker
             # (sharded engine).  The nested append/maintain spans carry
             # the per-view numbers; this series shows shard balance.
-            shard = str(span.attrs.get("shard", "?"))
-            metrics.inc("shard_batches_total", shard=shard)
-            metrics.observe("shard_apply_seconds", span.duration, shard=shard)
+            shard = span.attrs.get("shard")
+            if shard is None:
+                # Never emit an unknown-shard bucket: a missing label is
+                # a bug in the emitting hook, counted as such.
+                metrics.inc("span_label_missing_total", span="shard_apply")
+            else:
+                shard = str(shard)
+                metrics.inc("shard_batches_total", shard=shard)
+                metrics.observe("shard_apply_seconds", span.duration, shard=shard)
+        elif name == "ingest":
+            # One sharded write window: the span covers admission through
+            # all-shards-visible, so its duration IS the end-to-end
+            # freshness gap the paper's bounded-cost claims protect.
+            group = str(span.attrs.get("group", "?"))
+            metrics.inc("ingest_windows_total", group=group)
+            metrics.observe("ingest_visibility_seconds", span.duration, group=group)
+        if span._is_root:
+            self.recorder.record_span(span)
         for listener in self._span_listeners:
-            listener(span)
+            try:
+                listener(span)
+            except Exception:
+                metrics.inc(
+                    "span_listener_errors_total",
+                    listener=type(listener).__name__,
+                )
+
+    # -- health & incidents ------------------------------------------------------------
+
+    def bind_database(self, db: Any) -> None:
+        """Attach a database as the health/incident context source.
+
+        Held through a weak reference so the process-wide handle can
+        never keep a dropped database alive.  One database at a time —
+        like the runtime slot itself, the last bind wins.
+        """
+        self._db_ref = weakref.ref(db)
+
+    def database(self) -> Optional[Any]:
+        """The bound database, or ``None`` (never bound / collected)."""
+        return self._db_ref() if self._db_ref is not None else None
+
+    def health(self) -> HealthReport:
+        """Evaluate the SLO policy against the current state.
+
+        Uses the bound database's :meth:`shard_health` snapshot when it
+        has one (the sharded engine); a transition *into* ``FAILING``
+        triggers an ``slo-breach`` incident dump.
+        """
+        db = self.database()
+        shard_health = None
+        if db is not None:
+            probe = getattr(db, "shard_health", None)
+            if probe is not None:
+                shard_health = probe()
+        report = evaluate_health(self, self.slo, shard_health)
+        if report.status == "FAILING" and self._last_health_status != "FAILING":
+            self.incident("slo-breach", health=report.as_dict())
+        self._last_health_status = report.status
+        return report
+
+    def incident(
+        self, reason: str, path: Optional[str] = None, **context: Any
+    ) -> Optional[str]:
+        """Trigger the flight recorder with full context; returns the path.
+
+        Assembles whatever the moment can safely provide — per-shard
+        watermarks and merged registry stats from the bound database,
+        plus this handle's :meth:`snapshot` — and hands it to
+        :meth:`~repro.obs.recorder.FlightRecorder.trigger`.  Context
+        collection is best-effort: an incident dump must never add a
+        second failure to the one being recorded.
+        """
+        db = self.database()
+        if db is not None:
+            try:
+                context.setdefault("watermarks", db.watermarks())
+            except Exception:
+                pass
+            try:
+                context.setdefault("registry_stats", db.stats)
+            except Exception:
+                pass
+        try:
+            context.setdefault("snapshot", self.snapshot())
+        except Exception:
+            pass
+        return self.recorder.trigger(reason, context, path=path)
 
     # -- snapshots ---------------------------------------------------------------------
 
@@ -199,6 +333,12 @@ class Observability:
             "certificates": {
                 name: cert.get("conformant")
                 for name, cert in sorted(self.certificates.items())
+            },
+            "health": self._last_health_status,
+            "recorder": {
+                "events": len(self.recorder.events()),
+                "triggered": self.recorder.triggered,
+                "dumped": self.recorder.dumped,
             },
         }
 

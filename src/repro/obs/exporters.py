@@ -11,7 +11,10 @@ stdlib-only:
   - ``/certificates`` — the conformance certificates
     (:mod:`repro.obs.conformance`) as JSON;
   - ``/snapshot`` — the full :meth:`~repro.obs.core.Observability
-    .snapshot` as JSON.
+    .snapshot` as JSON;
+  - ``/health`` — the :class:`~repro.obs.health.HealthReport` as JSON
+    (status 200 for ``OK``/``DEGRADED``, 503 for ``FAILING`` — load
+    balancers and probes key off the status code alone).
 
   Bind port 0 for an ephemeral port (tests do); the bound port is
   available as :attr:`MetricsServer.port` after :meth:`start`.
@@ -70,6 +73,20 @@ class _MetricsHandler(BaseHTTPRequestHandler):
         elif path == "/snapshot":
             body = json.dumps(obs.snapshot(), sort_keys=True, indent=2).encode("utf-8")
             self._reply(200, "application/json", body)
+        elif path == "/health":
+            try:
+                report = obs.health()
+                payload = report.as_dict()
+                status = 503 if report.status == "FAILING" else 200
+            except Exception as exc:
+                # A probe endpoint must answer even when evaluation
+                # breaks — an unanswerable /health reads as down anyway.
+                payload = {"status": "FAILING", "error": repr(exc)}
+                status = 503
+            body = json.dumps(payload, sort_keys=True, indent=2, default=str).encode(
+                "utf-8"
+            )
+            self._reply(status, "application/json", body)
         else:
             self._reply(404, "text/plain; charset=utf-8", b"not found\n")
 
@@ -166,14 +183,21 @@ class JsonlSpanSink:
         self.written = 0  # traces written over the sink's lifetime
         self.rotations = 0
         self._lock = threading.Lock()
+        self._closed = False
         self._size = os.path.getsize(path) if os.path.exists(path) else 0
         self._handle = open(path, "a")
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def __call__(self, span: Span) -> None:
         if not span.is_root:
             return
         line = json.dumps(span.to_dict(), sort_keys=True) + "\n"
         with self._lock:
+            if self._closed:
+                return
             if self._size and self._size + len(line) > self.max_bytes:
                 self._rotate()
             self._handle.write(line)
@@ -200,7 +224,15 @@ class JsonlSpanSink:
         self.rotations += 1
 
     def close(self) -> None:
+        """Stop writing and release the file handle (idempotent).
+
+        A closed sink left attached as a span listener becomes a no-op;
+        it never raises into the maintenance path.
+        """
         with self._lock:
+            if self._closed:
+                return
+            self._closed = True
             if not self._handle.closed:
                 self._handle.close()
 

@@ -236,6 +236,41 @@ class MetricsRegistry:
         instrument = family[2].get(_label_key(labels))
         return None if instrument is None else instrument.as_dict()
 
+    def series(self, name: str) -> List[Tuple[Dict[str, str], Any]]:
+        """``(labels, instrument)`` pairs of one family (empty if absent).
+
+        The live instruments are returned, not copies — the health
+        evaluator uses this to merge histogram series and read gauges
+        without round-tripping through the export formats.
+        """
+        family = self._families.get(name)
+        if family is None:
+            return []
+        return [(dict(key), instrument) for key, instrument in family[2].items()]
+
+    def merged_histogram(self, name: str) -> Optional[Histogram]:
+        """All of one histogram family's series merged into one.
+
+        Series share bucket bounds when they were created through the
+        same convenience path (the default buckets), which holds for
+        every histogram this library emits; series with different
+        bounds are skipped rather than mis-merged.  Returns ``None``
+        when the family is absent or empty.
+        """
+        merged: Optional[Histogram] = None
+        for _, instrument in self.series(name):
+            if not isinstance(instrument, Histogram):
+                return None
+            if merged is None:
+                merged = Histogram(instrument.bounds)
+            elif merged.bounds != instrument.bounds:
+                continue
+            for index, count in enumerate(instrument.bucket_counts):
+                merged.bucket_counts[index] += count
+            merged.sum += instrument.sum
+            merged.count += instrument.count
+        return merged
+
     def reset(self) -> None:
         """Drop every instrument (tests and benchmark phases)."""
         self._families.clear()

@@ -27,11 +27,21 @@ The tracer has two faces: the :meth:`Tracer.span` context manager for
 straight-line code, and the explicit :meth:`Tracer.start` /
 :meth:`Tracer.finish` pair for hook sites where a ``with`` block would
 contort the hot path.
+
+Every span carries identity: a process-unique :attr:`Span.span_id`, the
+:attr:`Span.trace_id` of the trace it belongs to (the root span's own
+id), and the :attr:`Span.parent_id` of its enclosing span.  Within one
+thread the ids flow through the thread-local stack; across threads the
+producer captures :meth:`Tracer.current` and the consumer opens its
+span with :meth:`Tracer.start_linked`, so e.g. a shard worker's
+``shard_apply`` span carries the ``trace_id`` of the ``ingest`` that
+produced its window even though it runs on a different thread.
 """
 
 from __future__ import annotations
 
 import io
+import itertools
 import json
 import time
 from collections import deque
@@ -41,6 +51,10 @@ from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Union
 from ..complexity.counters import GLOBAL_COUNTERS
 
 import threading
+
+#: Process-wide span-id source.  ``next()`` on an ``itertools.count`` is
+#: a single C call, atomic under the GIL — no lock needed.
+_SPAN_IDS = itertools.count(1)
 
 
 class Span:
@@ -53,6 +67,9 @@ class Span:
         "started_at",
         "duration",
         "counters",
+        "span_id",
+        "trace_id",
+        "parent_id",
         "_t0",
         "_scope_cm",
         "_scope",
@@ -69,6 +86,13 @@ class Span:
         self.duration: float = 0.0
         #: Non-zero CostCounters deltas over the span's extent.
         self.counters: Dict[str, int] = {}
+        #: Process-unique id of this span.
+        self.span_id: int = next(_SPAN_IDS)
+        #: Id of the trace this span belongs to (the root span's id).
+        self.trace_id: int = self.span_id
+        #: Id of the enclosing span (``None`` for thread-local roots
+        #: without a cross-thread link).
+        self.parent_id: Optional[int] = None
         self._t0 = time.perf_counter()
         self._scope_cm = None
         self._scope = None
@@ -98,7 +122,11 @@ class Span:
             "name": self.name,
             "started_at": self.started_at,
             "duration_us": round(self.duration * 1e6, 3),
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
         }
+        if self.parent_id is not None:
+            out["parent_id"] = self.parent_id
         if self.attrs:
             out["attrs"] = dict(self.attrs)
         if self.counters:
@@ -168,12 +196,43 @@ class Tracer:
         stack = self._stack()
         span._is_root = not stack
         if stack:
-            stack[-1].children.append(span)
+            parent = stack[-1]
+            parent.children.append(span)
+            span.trace_id = parent.trace_id
+            span.parent_id = parent.span_id
         stack.append(span)
         cm = GLOBAL_COUNTERS.scope()
         span._scope = cm.__enter__()
         span._scope_cm = cm
         return span
+
+    def start_linked(
+        self, name: str, trace_id: int, parent_id: Optional[int], **attrs: Any
+    ) -> Span:
+        """Open a span linked to a trace context from *another* thread.
+
+        A worker thread has an empty span stack, so a plain
+        :meth:`start` would begin a brand-new trace.  This adopts the
+        producer's context instead: the new span keeps its thread-local
+        root status (it still enters the ring as its own trace tree)
+        but carries the producer's ``trace_id`` and the producing
+        span's id as ``parent_id``, so offline tools can stitch the
+        cross-thread tree back together.  If the current thread already
+        has an open span, ordinary nesting wins and the link arguments
+        are ignored.
+        """
+        span = self.start(name, **attrs)
+        if span._is_root:
+            # Set before any child starts: children copy trace_id from
+            # their parent at start().
+            span.trace_id = trace_id
+            span.parent_id = parent_id
+        return span
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span of the calling thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
 
     def finish(self, span: Span) -> Span:
         """Close *span*: stamp duration and counters, ring roots."""

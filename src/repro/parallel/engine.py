@@ -30,6 +30,7 @@ half-applied window (snapshot consistency via per-shard watermarks).
 
 from __future__ import annotations
 
+import time
 import warnings
 from concurrent.futures import ThreadPoolExecutor
 from functools import partial
@@ -56,6 +57,7 @@ from ..core.group import ChronicleGroup
 from ..core.sequence import SequenceNumber
 from ..errors import ChronicleGroupError, EngineError, ViewRegistrationError
 from ..obs import runtime as obs_runtime
+from ..obs.health import ShardHealth, ShardLag
 from ..relational.algebra import Table
 from ..relational.tuples import Row
 from ..sca.summarize import GroupBySummary, ProjectSummary, Summary
@@ -123,6 +125,29 @@ def rebind_summary(summary: Summary, chronicles: Mapping[str, Chronicle]) -> Sum
 # ---------------------------------------------------------------------------
 
 
+class ShardWindow:
+    """Dispatch-time context riding along with one maintenance window.
+
+    Built once per write on the admission (serial) thread and shared by
+    every task of the window: the trace identity of the producing
+    ``ingest`` span (``None`` ids when tracing is off) and the admission
+    wall-clock instant, from which workers measure the per-shard
+    admission→visible lag.
+    """
+
+    __slots__ = ("trace_id", "parent_id", "admitted_at")
+
+    def __init__(
+        self,
+        trace_id: Optional[int],
+        parent_id: Optional[int],
+        admitted_at: float,
+    ) -> None:
+        self.trace_id = trace_id
+        self.parent_id = parent_id
+        self.admitted_at = admitted_at
+
+
 class ShardUnit:
     """One worker shard of one key class: mirrors + a private registry.
 
@@ -131,7 +156,20 @@ class ShardUnit:
     snapshot-consistent: they see whole windows or nothing.
     """
 
-    __slots__ = ("index", "label", "group", "registry", "lock", "watermark")
+    __slots__ = (
+        "index",
+        "label",
+        "group",
+        "registry",
+        "lock",
+        "watermark",
+        "dispatched",
+        "dispatched_at",
+        "last_apply_at",
+        "last_lag_seconds",
+        "records_applied",
+        "windows_applied",
+    )
 
     def __init__(
         self,
@@ -153,6 +191,19 @@ class ShardUnit:
         self.lock = RLock()
         #: Highest sequence number this shard has absorbed (-1 initially).
         self.watermark: SequenceNumber = -1
+        #: Highest sequence number dispatched *to* this shard (set on the
+        #: admission thread before the worker runs; ``dispatched >
+        #: watermark`` means a window is in flight or queued).
+        self.dispatched: SequenceNumber = -1
+        #: Admission instant of the most recently dispatched window.
+        self.dispatched_at: float = 0.0
+        #: Wall-clock instant of the last applied window (0.0 = never).
+        self.last_apply_at: float = 0.0
+        #: Admission→visible latency of the last applied window.
+        self.last_lag_seconds: float = 0.0
+        #: Lifetime records / windows absorbed by this shard.
+        self.records_applied: int = 0
+        self.windows_applied: int = 0
 
     def mirror(self, chronicle: Chronicle) -> Chronicle:
         """The unit's mirror of a real chronicle (created on demand).
@@ -168,13 +219,31 @@ class ShardUnit:
         return existing
 
     def apply(
-        self, event: Mapping[str, Sequence[Row]], watermark: SequenceNumber
+        self,
+        event: Mapping[str, Sequence[Row]],
+        watermark: SequenceNumber,
+        window: Optional[ShardWindow] = None,
     ) -> None:
-        """Absorb one coalesced maintenance window (runs on a worker)."""
+        """Absorb one coalesced maintenance window (runs on a worker).
+
+        When *window* carries a trace identity, the ``shard_apply`` span
+        is linked to the producing ``ingest``/``append`` span
+        (:meth:`~repro.obs.tracer.Tracer.start_linked`), so cross-thread
+        traces correlate: every worker span carries the admission span's
+        ``trace_id``.
+        """
         obs = obs_runtime.ACTIVE
         with self.lock:
             if obs is not None and obs.trace:
-                span = obs.tracer.start("shard_apply", shard=self.label)
+                if window is not None and window.trace_id is not None:
+                    span = obs.tracer.start_linked(
+                        "shard_apply",
+                        window.trace_id,
+                        window.parent_id,
+                        shard=self.label,
+                    )
+                else:
+                    span = obs.tracer.start("shard_apply", shard=self.label)
                 try:
                     self.group.ingest_stamped(event, watermark)
                 finally:
@@ -182,6 +251,26 @@ class ShardUnit:
             else:
                 self.group.ingest_stamped(event, watermark)
             self.watermark = watermark
+            now = time.time()
+            self.last_apply_at = now
+            self.windows_applied += 1
+            self.records_applied += sum(len(rows) for rows in event.values())
+            if window is not None:
+                self.last_lag_seconds = max(0.0, now - window.admitted_at)
+            if obs is not None:
+                # The freshness gauges: how long admission→visible took
+                # for the window just absorbed, and how many sequence
+                # numbers of dispatched work remain unabsorbed (newer
+                # windows may have queued behind this one).
+                if window is not None:
+                    obs.metrics.set(
+                        "shard_lag_seconds", self.last_lag_seconds, shard=self.label
+                    )
+                obs.metrics.set(
+                    "shard_lag_batches",
+                    max(0, self.dispatched - watermark),
+                    shard=self.label,
+                )
 
     def __repr__(self) -> str:
         return f"ShardUnit({self.label!r}, watermark={self.watermark})"
@@ -380,6 +469,19 @@ class ParallelMaintainer:
         if error is not None:
             raise error
 
+    def queue_depth(self) -> int:
+        """Tasks waiting in the worker pool's queue (0 for serial).
+
+        A best-effort probe of the executor's internal work queue —
+        under the synchronous :meth:`run` it only exceeds zero while a
+        window is mid-flight, which is exactly when health snapshots
+        taken from other threads want to see it.
+        """
+        if self._pool is None:
+            return 0
+        queue = getattr(self._pool, "_work_queue", None)
+        return int(queue.qsize()) if queue is not None else 0
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
@@ -511,6 +613,27 @@ class ShardedDatabase(ChronicleDatabase):
 
     # -- appends ---------------------------------------------------------------------
 
+    def _ingest_span(self, group_name: str, path: str) -> Optional[Any]:
+        """Open the root ``ingest`` span for one sharded write, if tracing.
+
+        The span brackets admission through all-shards-visible (dispatch
+        is synchronous), so its duration is the end-to-end freshness gap;
+        its identity is what worker-thread ``shard_apply`` spans link to.
+        """
+        obs = obs_runtime.ACTIVE
+        if obs is None or not obs.trace or not self._shard_groups:
+            return None
+        return obs.tracer.start("ingest", group=group_name, path=path)
+
+    def _finish_ingest_span(self, span: Optional[Any], **attrs: Any) -> None:
+        if span is None:
+            return
+        obs = obs_runtime.ACTIVE
+        if obs is None:
+            return
+        span.attrs.update(attrs)
+        obs.tracer.finish(span)
+
     def append(
         self,
         chronicle: str,
@@ -519,13 +642,18 @@ class ShardedDatabase(ChronicleDatabase):
         instant: Optional[float] = None,
     ) -> Tuple[Row, ...]:
         group = self._owning_group(chronicle)
-        rows = group.append(
-            chronicle, records, sequence_number=sequence_number, instant=instant
-        )
-        if rows and self._shard_groups:
-            pending = self._route({chronicle: rows})
-            self._dispatch(pending, group.watermark)
-        return rows
+        span = self._ingest_span(group.name, "append")
+        try:
+            admitted_at = time.time()
+            rows = group.append(
+                chronicle, records, sequence_number=sequence_number, instant=instant
+            )
+            if rows and self._shard_groups:
+                pending = self._route({chronicle: rows})
+                self._dispatch(pending, group.watermark, admitted_at)
+            return rows
+        finally:
+            self._finish_ingest_span(span, batches=1)
 
     def append_simultaneous(
         self,
@@ -535,14 +663,19 @@ class ShardedDatabase(ChronicleDatabase):
         instant: Optional[float] = None,
     ) -> Dict[str, Tuple[Row, ...]]:
         owner = self.group(group)
-        stamped = owner.append_simultaneous(
-            batches, sequence_number=sequence_number, instant=instant
-        )
-        event = {name: rows for name, rows in stamped.items() if rows}
-        if event and self._shard_groups:
-            pending = self._route(event)
-            self._dispatch(pending, owner.watermark)
-        return stamped
+        span = self._ingest_span(owner.name, "append_simultaneous")
+        try:
+            admitted_at = time.time()
+            stamped = owner.append_simultaneous(
+                batches, sequence_number=sequence_number, instant=instant
+            )
+            event = {name: rows for name, rows in stamped.items() if rows}
+            if event and self._shard_groups:
+                pending = self._route(event)
+                self._dispatch(pending, owner.watermark, admitted_at)
+            return stamped
+        finally:
+            self._finish_ingest_span(span, batches=1)
 
     def ingest(
         self,
@@ -560,16 +693,21 @@ class ShardedDatabase(ChronicleDatabase):
         times.  Returns the number of records admitted.
         """
         group = self._owning_group(chronicle)
-        pending: Dict[ShardGroup, Dict[int, Dict[str, List[Row]]]] = {}
-        total = 0
-        for records in batches:
-            rows = group.append(chronicle, records, instant=instant)
-            total += len(rows)
-            if rows and self._shard_groups:
-                self._route({chronicle: rows}, into=pending)
-        if pending:
-            self._dispatch(pending, group.watermark)
-        return total
+        span = self._ingest_span(group.name, "ingest")
+        try:
+            admitted_at = time.time()
+            pending: Dict[ShardGroup, Dict[int, Dict[str, List[Row]]]] = {}
+            total = 0
+            for records in batches:
+                rows = group.append(chronicle, records, instant=instant)
+                total += len(rows)
+                if rows and self._shard_groups:
+                    self._route({chronicle: rows}, into=pending)
+            if pending:
+                self._dispatch(pending, group.watermark, admitted_at)
+            return total
+        finally:
+            self._finish_ingest_span(span, batches=len(batches))
 
     def _owning_group(self, chronicle: str) -> ChronicleGroup:
         group_name = self._chronicle_group.get(chronicle)
@@ -599,20 +737,53 @@ class ShardedDatabase(ChronicleDatabase):
         self,
         pending: Dict[ShardGroup, Dict[int, Dict[str, List[Row]]]],
         watermark: SequenceNumber,
+        admitted_at: Optional[float] = None,
     ) -> None:
         tasks: List[Callable[[], None]] = []
         obs = obs_runtime.ACTIVE
+        window: Optional[ShardWindow] = None
+        if admitted_at is None:
+            admitted_at = time.time()
+        if obs is not None:
+            trace_id = parent_id = None
+            if obs.trace:
+                producer = obs.tracer.current()
+                if producer is not None:
+                    trace_id = producer.trace_id
+                    parent_id = producer.span_id
+            window = ShardWindow(trace_id, parent_id, admitted_at)
         for shard_group, units in pending.items():
             for index, event in units.items():
                 unit = shard_group.units[index]
-                tasks.append(partial(unit.apply, event, watermark))
+                # Mark the dispatch on the admission thread *before* the
+                # worker runs: a concurrent health probe or scrape sees
+                # the in-flight window as lag, not as silence.
+                unit.dispatched = watermark
+                unit.dispatched_at = admitted_at
+                tasks.append(partial(unit.apply, event, watermark, window))
                 if obs is not None:
                     obs.metrics.inc(
                         "shard_records_total",
                         sum(len(rows) for rows in event.values()),
                         shard=unit.label,
                     )
-        self._maintainer.run(tasks)
+                    obs.metrics.set(
+                        "shard_lag_batches",
+                        max(0, watermark - unit.watermark),
+                        shard=unit.label,
+                    )
+        try:
+            self._maintainer.run(tasks)
+        except BaseException as exc:
+            if obs is not None:
+                obs.metrics.inc("engine_errors_total")
+                obs.incident(
+                    "shard-worker-error",
+                    error=repr(exc),
+                    watermark=watermark,
+                    watermarks=self.watermarks(),
+                )
+            raise
 
     # -- stats / introspection ---------------------------------------------------------
 
@@ -637,6 +808,43 @@ class ShardedDatabase(ChronicleDatabase):
             for unit in shard_group.units:
                 marks[unit.label] = unit.watermark
         return marks
+
+    def shard_health(self) -> ShardHealth:
+        """A live freshness snapshot across every shard unit.
+
+        Lag is measured against what was *dispatched to* each unit, not
+        the global admission watermark — a shard that simply received no
+        rows for a while is caught up, not lagging.  ``lag_seconds`` is
+        staleness: zero when absorbed, else the age of the oldest
+        in-flight window.
+        """
+        now = time.time()
+        admission = max(
+            (group.watermark for group in self.groups.values()), default=-1
+        )
+        shards: List[ShardLag] = []
+        for shard_group in self._shard_groups.values():
+            for unit in shard_group.units:
+                behind = unit.dispatched > unit.watermark
+                shards.append(
+                    ShardLag(
+                        shard=unit.label,
+                        watermark=unit.watermark,
+                        lag_batches=max(0, unit.dispatched - unit.watermark),
+                        lag_seconds=(
+                            max(0.0, now - unit.dispatched_at) if behind else 0.0
+                        ),
+                        records_applied=unit.records_applied,
+                        windows_applied=unit.windows_applied,
+                        last_apply_at=unit.last_apply_at,
+                    )
+                )
+        return ShardHealth(
+            admission_watermark=admission,
+            shards=tuple(shards),
+            queue_depth=self._maintainer.queue_depth(),
+            at=now,
+        )
 
     @property
     def fallback_views(self) -> Tuple[str, ...]:

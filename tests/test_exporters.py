@@ -196,6 +196,71 @@ class TestJsonlSpanSink:
         with pytest.raises(ValueError):
             JsonlSpanSink(str(tmp_path / "s.jsonl"), max_files=-1)
 
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlSpanSink(str(tmp_path / "s.jsonl"))
+        assert not sink.closed
+        sink.close()
+        sink.close()  # second close must not raise
+        assert sink.closed
+
+    def test_closed_sink_is_a_noop_listener(self, tmp_path):
+        path = str(tmp_path / "s.jsonl")
+        sink = JsonlSpanSink(path)
+        tracer = Tracer(on_span_end=sink)
+        with tracer.span("append", group="g"):
+            pass
+        sink.close()
+        with tracer.span("append", group="g"):
+            pass  # must neither raise nor write
+        assert sink.written == 1
+        assert len(open(path).readlines()) == 1
+
+
+# ---------------------------------------------------------------------------
+# Span-listener fault isolation
+# ---------------------------------------------------------------------------
+
+
+class TestListenerGuard:
+    def test_listener_exception_swallowed_and_counted(self):
+        db = make_db(observe=True)
+
+        class Broken:
+            calls = 0
+
+            def __call__(self, span):
+                Broken.calls += 1
+                raise RuntimeError("exporter died")
+
+        try:
+            db.observability.add_span_listener(Broken())
+            db.append("calls", {"caller": 1, "minutes": 5})
+            db.append("calls", {"caller": 2, "minutes": 3})
+            counted = db.observability.metrics.value(
+                "span_listener_errors_total", listener="Broken"
+            )
+        finally:
+            db.disable_observability()
+        assert Broken.calls > 0
+        assert counted == Broken.calls
+        # The appends themselves were never disturbed.
+        assert db.view_value("usage", (1,), "total") == 5
+
+    def test_closed_sink_attached_as_listener_counts_no_errors(self, tmp_path):
+        db = make_db(observe=True)
+        try:
+            sink = JsonlSpanSink(str(tmp_path / "s.jsonl"))
+            db.observability.add_span_listener(sink)
+            sink.close()  # closed while still attached: silent no-op
+            db.append("calls", {"caller": 1, "minutes": 5})
+            counted = db.observability.metrics.value(
+                "span_listener_errors_total", listener="JsonlSpanSink"
+            )
+        finally:
+            db.disable_observability()
+        assert counted is None
+        assert sink.written == 0
+
 
 # ---------------------------------------------------------------------------
 # Cost attribution trees
