@@ -43,7 +43,12 @@ import pytest
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from _results import append_run, load_history, save_history  # noqa: E402
+from _results import (  # noqa: E402
+    append_run,
+    comparable_runs,
+    load_history,
+    save_history,
+)
 
 from repro import ChronicleDatabase, DatabaseConfig, BankingWorkload  # noqa: E402
 from repro.aggregates import COUNT, SUM, spec  # noqa: E402
@@ -85,14 +90,20 @@ def gated_shards() -> int:
     return int(os.environ.get("E14_SHARDS", "4"))
 
 
-def _build(shards):
-    """A database (serial when *shards* == 0) with the banking catalog."""
+def _build(shards, executor=None):
+    """A database (serial when *shards* == 0) with the banking catalog.
+
+    *executor* selects the shard backend (``"thread"`` default); E15
+    reuses this exact catalog at ``executor="process"`` so the engines'
+    numbers stay comparable.
+    """
     if shards == 0:
         db = ChronicleDatabase()
     else:
-        db = ChronicleDatabase(
-            config=DatabaseConfig(engine="sharded", shards=shards)
-        )
+        kwargs = {"engine": "sharded", "shards": shards}
+        if executor is not None:
+            kwargs["executor"] = executor
+        db = ChronicleDatabase(config=DatabaseConfig(**kwargs))
     db.create_chronicle(
         "transactions", BankingWorkload.CHRONICLE_SCHEMA, retention=0
     )
@@ -130,9 +141,9 @@ def _windows(count, start=0):
     return windows
 
 
-def _throughput(shards):
+def _throughput(shards, executor=None):
     """Records/second through ``ingest`` for one engine configuration."""
-    db = _build(shards)
+    db = _build(shards, executor=executor)
     try:
         with GLOBAL_COUNTERS.disabled():
             for window in _windows(PRELOAD_WINDOWS):
@@ -207,8 +218,8 @@ def gate(shards=None) -> int:
     previous_best = max(
         (
             run["speedup"]
-            for run in history["runs"]
-            if run.get("shards") == shards
+            for run in comparable_runs(history, shards=shards)
+            if "speedup" in run
         ),
         default=None,
     )

@@ -26,7 +26,12 @@ import sys
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 from bench_e12_compiled_plans import MODES, run_measurements  # noqa: E402
-from _results import append_run, load_history, save_history  # noqa: E402
+from _results import (  # noqa: E402
+    append_run,
+    comparable_runs,
+    load_history,
+    save_history,
+)
 
 from repro.complexity.fitting import mad, median  # noqa: E402
 
@@ -57,8 +62,15 @@ def main() -> int:
     spread = mad(compiled)
 
     history = load_history(RESULTS_PATH, EXPERIMENT)
+    # Only runs from a comparable machine gate: a core-count change is a
+    # hardware change, not a regression.
     previous_best = max(
-        (run["speedups"]["compiled"] for run in history["runs"]), default=None
+        (
+            run["speedups"]["compiled"]
+            for run in comparable_runs(history)
+            if "speedups" in run
+        ),
+        default=None,
     )
     append_run(
         history,

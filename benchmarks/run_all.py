@@ -27,6 +27,7 @@ MODULES = [
     "bench_e11_throughput",
     "bench_e13_conformance",
     "bench_e14_sharded",
+    "bench_e15_multicore",
     "bench_a1_ablations",
 ]
 

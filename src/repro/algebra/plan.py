@@ -36,9 +36,10 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..complexity.counters import GLOBAL_COUNTERS
 from ..core.delta import Delta
+from ..errors import AlgebraError
 from ..obs import runtime as obs_runtime
 from ..relational.predicate import And, Comparison, Not, Or, Predicate, TruePredicate
-from ..relational.schema import Schema
+from ..relational.schema import Attribute, Schema
 from ..relational.tuples import Row
 from .ast import (
     ChronicleScan,
@@ -873,3 +874,156 @@ def infer_partition(summary: Any) -> Any:
             routing.append(base)
         spec[chronicle] = tuple(routing)
     return PartitionSpec(spec)
+
+
+# ---------------------------------------------------------------------------
+# Portable plan specs
+# ---------------------------------------------------------------------------
+#
+# The process executor (:mod:`repro.parallel.worker`) rebuilds each
+# shard's maintenance machinery inside a worker process.  Live algebra
+# trees cannot cross that boundary: a ChronicleScan holds the chronicle,
+# which holds the group, which holds its listeners — pickling one node
+# would drag the whole database (locks, thread pools, registries) along.
+# Schemas are identity-sensitive too: Domain objects compare by ``is``,
+# so a pickled copy of INT would no longer *be* INT.
+#
+# A *plan spec* is the neutral encoding that avoids both traps: nested
+# tuples of plain values, with chronicle scans recorded **by name** and
+# domains **by domain name**.  ``build_*`` reconstructs the live objects
+# over a caller-supplied chronicle mapping (the worker's mirrors), going
+# through the ordinary constructors so every structural invariant is
+# re-validated on arrival.  Predicates and the standard aggregate
+# singletons are carried as objects — they are plain data and pickle
+# cleanly; anything that does not (lambdas in user-defined aggregates,
+# live relations) makes the view non-portable, which
+# ``summary_spec`` reports by raising :class:`~repro.errors.AlgebraError`.
+
+
+def schema_spec(schema: Schema) -> Tuple[Any, ...]:
+    """A picklable, identity-free encoding of a schema."""
+    return (
+        tuple((a.name, a.domain.name, a.nullable) for a in schema.attributes),
+        schema.key,
+        schema.sequence_attribute,
+    )
+
+
+def build_schema(spec: Tuple[Any, ...]) -> Schema:
+    """Rebuild a schema from :func:`schema_spec` (domains by name)."""
+    attrs, key, sequence_attribute = spec
+    return Schema(
+        [Attribute(name, domain, nullable) for name, domain, nullable in attrs],
+        key=key,
+        sequence_attribute=sequence_attribute,
+    )
+
+
+def node_spec(node: Node) -> Tuple[Any, ...]:
+    """A picklable encoding of a chronicle-algebra tree (scans by name).
+
+    Covers exactly the operators whose delta rules are process-portable.
+    Relation-backed operators (``RelProduct``/``RelKeyJoin``) reference a
+    live, proactively-updated relation object that only exists in the
+    admission process — there is no sound way to replicate it into a
+    worker mid-stream — and the extension operators need chronicle
+    history a worker does not store; both raise
+    :class:`~repro.errors.AlgebraError` (callers fall back to the serial
+    shard).
+    """
+    if isinstance(node, ChronicleScan):
+        return ("scan", node.chronicle.name)
+    if isinstance(node, Select):
+        return ("select", node_spec(node.child), node.predicate)
+    if isinstance(node, Project):
+        return ("project", node_spec(node.child), node.names)
+    if isinstance(node, SeqJoin):
+        return ("seqjoin", node_spec(node.left), node_spec(node.right))
+    if isinstance(node, Union):
+        return ("union", node_spec(node.left), node_spec(node.right))
+    if isinstance(node, Difference):
+        return ("difference", node_spec(node.left), node_spec(node.right))
+    if isinstance(node, GroupBySeq):
+        return ("groupby_sn", node_spec(node.child), node.grouping, node.aggregates)
+    raise AlgebraError(
+        f"{type(node).__name__} has no portable plan spec (it references "
+        f"process-local state); views containing it stay on the serial shard "
+        f"under the process executor"
+    )
+
+
+def build_node(spec: Tuple[Any, ...], chronicles: Mapping[str, Any]) -> Node:
+    """Rebuild an algebra tree from :func:`node_spec` over *chronicles*."""
+    kind = spec[0]
+    if kind == "scan":
+        return ChronicleScan(chronicles[spec[1]])
+    if kind == "select":
+        return Select(build_node(spec[1], chronicles), spec[2])
+    if kind == "project":
+        return Project(build_node(spec[1], chronicles), spec[2])
+    if kind == "seqjoin":
+        return SeqJoin(build_node(spec[1], chronicles), build_node(spec[2], chronicles))
+    if kind == "union":
+        return Union(build_node(spec[1], chronicles), build_node(spec[2], chronicles))
+    if kind == "difference":
+        return Difference(
+            build_node(spec[1], chronicles), build_node(spec[2], chronicles)
+        )
+    if kind == "groupby_sn":
+        return GroupBySeq(build_node(spec[1], chronicles), spec[2], spec[3])
+    raise AlgebraError(f"unknown plan-spec node kind {kind!r}")
+
+
+def summary_spec(summary: Any) -> Tuple[Any, ...]:
+    """A picklable encoding of a view definition (summary over χ).
+
+    Raises :class:`~repro.errors.AlgebraError` for summaries that cannot
+    cross a process boundary; :func:`is_portable` wraps this as a probe.
+    """
+    from ..sca.summarize import GroupBySummary, ProjectSummary
+
+    if isinstance(summary, GroupBySummary):
+        return (
+            "groupby",
+            node_spec(summary.expression),
+            summary.grouping,
+            summary.aggregates,
+            summary.having,
+        )
+    if isinstance(summary, ProjectSummary):
+        return ("projection", node_spec(summary.expression), summary.names)
+    raise AlgebraError(
+        f"summary type {type(summary).__name__} has no portable plan spec"
+    )
+
+
+def build_summary(spec: Tuple[Any, ...], chronicles: Mapping[str, Any]) -> Any:
+    """Rebuild a summary from :func:`summary_spec` over *chronicles*."""
+    from ..sca.summarize import GroupBySummary, ProjectSummary
+
+    kind = spec[0]
+    if kind == "groupby":
+        return GroupBySummary(
+            build_node(spec[1], chronicles), spec[2], spec[3], having=spec[4]
+        )
+    if kind == "projection":
+        return ProjectSummary(build_node(spec[1], chronicles), spec[2])
+    raise AlgebraError(f"unknown plan-spec summary kind {kind!r}")
+
+
+def is_portable(summary: Any) -> bool:
+    """Whether a view definition can be shipped to a worker process.
+
+    True when the summary has a plan spec **and** that spec pickles —
+    the spec carries predicates and aggregate functions as objects, so a
+    user-defined aggregate closed over a lambda is caught here, not at
+    dispatch time.
+    """
+    import pickle
+
+    try:
+        payload = summary_spec(summary)
+        pickle.dumps(payload)
+    except Exception:
+        return False
+    return True

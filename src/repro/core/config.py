@@ -51,8 +51,10 @@ class DatabaseConfig:
     executor:
         How shard maintenance fans out: ``"thread"`` (a worker-thread
         pool, the default), ``"serial"`` (in-line, deterministic — for
-        debugging), or ``"process"`` (reserved; gated until shard state
-        is checkpointable across process boundaries).
+        debugging), or ``"process"`` (worker processes holding portable
+        shard replicas — true multi-core maintenance; views whose
+        definitions cannot cross a process boundary fall back to the
+        serial shard with a warning).
     prefilter_views:
         Enable the Section 5.2 affected-view prefilter.
     compile_views:

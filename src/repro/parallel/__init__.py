@@ -10,27 +10,43 @@ Select it through the facade::
 from ..algebra.plan import UNPARTITIONABLE, PartitionSpec, infer_partition
 from .engine import (
     MergedView,
+    NonPortableViewWarning,
     ParallelMaintainer,
+    ProcessShardBackend,
+    SerialShardBackend,
+    ShardBackend,
+    ShardTask,
     ShardedDatabase,
     ShardGroup,
     ShardUnit,
+    ThreadShardBackend,
     UnpartitionableViewWarning,
     rebind,
     rebind_summary,
 )
-from .router import ShardRouter
+from .router import ShardRouter, stable_hash
+from .worker import ShardUnitSpec, UnitReplica
 
 __all__ = [
     "MergedView",
+    "NonPortableViewWarning",
     "ParallelMaintainer",
     "PartitionSpec",
+    "ProcessShardBackend",
+    "SerialShardBackend",
+    "ShardBackend",
     "ShardGroup",
     "ShardRouter",
+    "ShardTask",
     "ShardUnit",
+    "ShardUnitSpec",
     "ShardedDatabase",
+    "ThreadShardBackend",
     "UNPARTITIONABLE",
+    "UnitReplica",
     "UnpartitionableViewWarning",
     "infer_partition",
     "rebind",
     "rebind_summary",
+    "stable_hash",
 ]

@@ -30,12 +30,13 @@ half-applied window (snapshot consistency via per-shard watermarks).
 
 from __future__ import annotations
 
+import multiprocessing
 import time
 import warnings
-from concurrent.futures import ThreadPoolExecutor
-from functools import partial
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from threading import RLock
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union as TUnion
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union as TUnion
 
 from ..algebra.ast import (
     ChronicleScan,
@@ -49,7 +50,14 @@ from ..algebra.ast import (
     SeqJoin,
     Union,
 )
-from ..algebra.plan import UNPARTITIONABLE, PartitionSpec, infer_partition
+from ..algebra.plan import (
+    UNPARTITIONABLE,
+    PartitionSpec,
+    infer_partition,
+    is_portable,
+    schema_spec,
+    summary_spec,
+)
 from ..core.chronicle import Chronicle, RowValues
 from ..core.database import ChronicleDatabase
 from ..core.delta import Delta
@@ -64,10 +72,21 @@ from ..sca.summarize import GroupBySummary, ProjectSummary, Summary
 from ..sca.view import PersistentView
 from ..views.registry import ViewRegistry
 from .router import ShardRouter
+from .worker import (
+    ShardUnitSpec,
+    worker_add_view,
+    worker_apply,
+    worker_install,
+    worker_remove_view,
+)
 
 
 class UnpartitionableViewWarning(UserWarning):
     """A view's keys straddle partitions; it runs on the serial shard."""
+
+
+class NonPortableViewWarning(UnpartitionableViewWarning):
+    """A view's definition cannot cross a process boundary; serial shard."""
 
 
 # ---------------------------------------------------------------------------
@@ -169,6 +188,7 @@ class ShardUnit:
         "last_lag_seconds",
         "records_applied",
         "windows_applied",
+        "remote_stats",
     )
 
     def __init__(
@@ -204,6 +224,10 @@ class ShardUnit:
         #: Lifetime records / windows absorbed by this shard.
         self.records_applied: int = 0
         self.windows_applied: int = 0
+        #: Cumulative registry stats of this shard's worker-process
+        #: replica (empty unless the process executor maintains it —
+        #: the parent-side registry then never sees events itself).
+        self.remote_stats: Dict[str, Any] = {}
 
     def mirror(self, chronicle: Chronicle) -> Chronicle:
         """The unit's mirror of a real chronicle (created on demand).
@@ -250,27 +274,122 @@ class ShardUnit:
                     obs.tracer.finish(span)
             else:
                 self.group.ingest_stamped(event, watermark)
-            self.watermark = watermark
-            now = time.time()
-            self.last_apply_at = now
-            self.windows_applied += 1
-            self.records_applied += sum(len(rows) for rows in event.values())
+            records = sum(len(rows) for rows in event.values())
+            self.mark_applied(watermark, window, records)
+
+    def mark_applied(
+        self,
+        watermark: SequenceNumber,
+        window: Optional[ShardWindow],
+        records: int,
+    ) -> None:
+        """Watermark/lag bookkeeping shared by every executor backend.
+
+        Caller holds :attr:`lock` and has just made a whole window
+        visible (either by applying it in place or by absorbing a
+        worker's results).
+        """
+        self.watermark = watermark
+        now = time.time()
+        self.last_apply_at = now
+        self.windows_applied += 1
+        self.records_applied += records
+        if window is not None:
+            self.last_lag_seconds = max(0.0, now - window.admitted_at)
+        obs = obs_runtime.ACTIVE
+        if obs is not None:
+            # The freshness gauges: how long admission→visible took
+            # for the window just absorbed, and how many sequence
+            # numbers of dispatched work remain unabsorbed (newer
+            # windows may have queued behind this one).
             if window is not None:
-                self.last_lag_seconds = max(0.0, now - window.admitted_at)
-            if obs is not None:
-                # The freshness gauges: how long admission→visible took
-                # for the window just absorbed, and how many sequence
-                # numbers of dispatched work remain unabsorbed (newer
-                # windows may have queued behind this one).
-                if window is not None:
-                    obs.metrics.set(
-                        "shard_lag_seconds", self.last_lag_seconds, shard=self.label
-                    )
                 obs.metrics.set(
-                    "shard_lag_batches",
-                    max(0, self.dispatched - watermark),
-                    shard=self.label,
+                    "shard_lag_seconds", self.last_lag_seconds, shard=self.label
                 )
+            obs.metrics.set(
+                "shard_lag_batches",
+                max(0, self.dispatched - watermark),
+                shard=self.label,
+            )
+
+    def absorb(
+        self,
+        per_view_items: Mapping[str, Sequence[Tuple[Any, Any]]],
+        watermark: SequenceNumber,
+        window: Optional[ShardWindow],
+        records: int,
+        worker_seconds: float,
+        stats: Dict[str, Any],
+    ) -> None:
+        """Make one worker-process window visible (runs on the parent).
+
+        The worker returns only the ``(key, state)`` pairs the window
+        touched per view; this merges them into the parent-side
+        partition views under the unit lock — the same snapshot
+        consistency readers get from the thread executor — and performs
+        the same watermark/lag/trace bookkeeping, with the worker's
+        wall-clock attached to the ``shard_apply`` span.
+        """
+        obs = obs_runtime.ACTIVE
+        with self.lock:
+            span = None
+            if obs is not None and obs.trace:
+                if window is not None and window.trace_id is not None:
+                    span = obs.tracer.start_linked(
+                        "shard_apply",
+                        window.trace_id,
+                        window.parent_id,
+                        shard=self.label,
+                        worker_seconds=worker_seconds,
+                    )
+                else:
+                    span = obs.tracer.start(
+                        "shard_apply", shard=self.label, worker_seconds=worker_seconds
+                    )
+            try:
+                for name, items in per_view_items.items():
+                    self.registry.view(name).absorb_states(items)
+            finally:
+                if span is not None:
+                    obs.tracer.finish(span)
+            self.remote_stats = stats
+            self.mark_applied(watermark, window, records)
+
+    # -- portability -------------------------------------------------------------------
+
+    def spec(self) -> ShardUnitSpec:
+        """Snapshot everything a worker process needs to replicate this unit.
+
+        Taken under the unit lock, so the fold-state snapshot is
+        consistent with :attr:`watermark` — the replica resumes exactly
+        where the unit stands.
+        """
+        with self.lock:
+            chronicles = tuple(
+                (name, schema_spec(chronicle.schema))
+                for name, chronicle in self.group.chronicles.items()
+            )
+            views = tuple(
+                (view.name, summary_spec(view.summary), view.state_export())
+                for view in self.registry.views()
+            )
+            return ShardUnitSpec(
+                self.label,
+                self.registry.compile,
+                chronicles,
+                views,
+                self.watermark,
+            )
+
+    def view_payload(self, name: str) -> Tuple[Any, Any, Any]:
+        """The install payload for one view: (summary spec, state, chronicles)."""
+        with self.lock:
+            view = self.registry.view(name)
+            chronicles = tuple(
+                (n, schema_spec(chronicle.schema))
+                for n, chronicle in self.group.chronicles.items()
+            )
+            return summary_spec(view.summary), view.state_export(), chronicles
 
     def __repr__(self) -> str:
         return f"ShardUnit({self.label!r}, watermark={self.watermark})"
@@ -413,6 +532,48 @@ class MergedView:
     def to_table(self) -> Table:
         return Table(self.schema, list(self.rows()))
 
+    # -- durability --------------------------------------------------------------------
+
+    def export_state(self) -> Tuple[List[Tuple[Any, Any]], int]:
+        """Union of the partitions' fold state, for checkpointing.
+
+        Returns ``(state items, total maintenance count)``.  The items
+        alone determine the visible rows (``view_row`` is pure), and
+        partition keys are disjoint, so the union is the state the
+        serial engine would hold — checkpoints are engine-portable.
+        """
+        items: List[Tuple[Any, Any]] = []
+        count = 0
+        for unit in self._shard_group.units:
+            with unit.lock:
+                view = self._partition(unit)
+                items.extend(view.state_export())
+                count += view.maintenance_count
+        return items, count
+
+    def import_state(
+        self, items: Sequence[Tuple[Any, Any]], maintenance_count: int = 0
+    ) -> None:
+        """Restore the partitions from checkpointed fold state.
+
+        Items are routed to their owning shard by the (stable) router
+        hash — which is why restore works across processes at all — and
+        each partition rebuilds its rows from its bucket.  The combined
+        maintenance count is assigned to shard 0 so the merged total
+        round-trips.
+        """
+        sg = self._shard_group
+        buckets: List[List[Tuple[Any, Any]]] = [[] for _ in sg.units]
+        for key, value in items:
+            key = tuple(key)
+            buckets[sg.router.shard_of_key(key)].append((key, value))
+        for index, unit in enumerate(sg.units):
+            with unit.lock:
+                self._partition(unit).state_import(
+                    buckets[index],
+                    maintenance_count=maintenance_count if index == 0 else 0,
+                )
+
     def __repr__(self) -> str:
         return (
             f"MergedView({self.name!r}, shards={len(self._shard_group.units)}, "
@@ -425,42 +586,88 @@ class MergedView:
 # ---------------------------------------------------------------------------
 
 
-class ParallelMaintainer:
-    """Fans per-shard maintenance tasks out to workers.
+class ShardTask:
+    """One shard's share of one maintenance window, ready to execute.
 
-    ``executor="thread"`` runs tasks on a worker pool; ``"serial"`` runs
-    them inline (deterministic, handy under debuggers); ``"process"`` is
-    reserved — shard state (closures, locks, live view objects) is not
-    picklable across process boundaries, so selecting it raises
-    :class:`~repro.errors.EngineError` until shard state is
-    checkpointable.
+    Built on the admission thread by ``_dispatch``; backends decide
+    *where* it runs (inline, worker thread, worker process) — the
+    routing, watermark bookkeeping, and trace context are already fixed.
     """
 
-    def __init__(self, executor: str = "thread", workers: int = 4) -> None:
-        if executor == "process":
-            raise EngineError(
-                "the 'process' executor is gated: shard state is not "
-                "picklable across process boundaries; use 'thread' or 'serial'"
-            )
-        if executor not in ("thread", "serial"):
-            raise EngineError(f"unknown executor {executor!r}")
-        self.executor = executor
-        self.workers = workers
-        self._pool: Optional[ThreadPoolExecutor] = (
-            ThreadPoolExecutor(max_workers=workers, thread_name_prefix="repro-shard")
-            if executor == "thread"
-            else None
+    __slots__ = ("unit", "event", "watermark", "window")
+
+    def __init__(
+        self,
+        unit: ShardUnit,
+        event: Mapping[str, Sequence[Row]],
+        watermark: SequenceNumber,
+        window: Optional[ShardWindow],
+    ) -> None:
+        self.unit = unit
+        self.event = event
+        self.watermark = watermark
+        self.window = window
+
+    def run_local(self) -> None:
+        """Apply the window on the calling thread (serial/thread backends)."""
+        self.unit.apply(self.event, self.watermark, self.window)
+
+
+class ShardBackend:
+    """Executor-agnostic contract the maintainer dispatches through.
+
+    One dispatch path serves every executor: ``run`` executes a window's
+    tasks and re-raises the first failure after all complete (a partial
+    window never hides an error); the view/reset hooks let stateful
+    backends (worker processes holding replicas) track registration
+    changes.  The base class is the inline ``serial`` implementation.
+    """
+
+    name = "serial"
+
+    def run(self, tasks: Sequence[ShardTask]) -> None:
+        for task in tasks:
+            task.run_local()
+
+    def queue_depth(self) -> int:
+        """Tasks waiting to execute (0 when nothing is in flight)."""
+        return 0
+
+    def view_added(self, shard_group: "ShardGroup", name: str) -> None:
+        """A view was registered after workers may have state."""
+
+    def view_removed(self, shard_group: "ShardGroup", name: str) -> None:
+        """A view was dropped."""
+
+    def reset_units(self, shard_groups: Sequence["ShardGroup"]) -> None:
+        """Parent-side shard state was replaced (restore); resync."""
+
+    def close(self) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SerialShardBackend(ShardBackend):
+    """Run every task inline (deterministic; handy under debuggers)."""
+
+
+class ThreadShardBackend(ShardBackend):
+    """Run tasks on a shared thread pool (the PR-4 executor)."""
+
+    name = "thread"
+
+    def __init__(self, workers: int) -> None:
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-shard"
         )
 
-    def run(self, tasks: Sequence[Callable[[], None]]) -> None:
-        """Run every task; re-raises the first failure after all finish."""
-        if not tasks:
+    def run(self, tasks: Sequence[ShardTask]) -> None:
+        if len(tasks) == 1:
+            tasks[0].run_local()
             return
-        if self._pool is None or len(tasks) == 1:
-            for task in tasks:
-                task()
-            return
-        futures = [self._pool.submit(task) for task in tasks]
+        futures = [self._pool.submit(task.run_local) for task in tasks]
         error: Optional[BaseException] = None
         for future in futures:
             exc = future.exception()
@@ -470,21 +677,232 @@ class ParallelMaintainer:
             raise error
 
     def queue_depth(self) -> int:
-        """Tasks waiting in the worker pool's queue (0 for serial).
+        queue = getattr(self._pool, "_work_queue", None)
+        return int(queue.qsize()) if queue is not None else 0
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+class ProcessShardBackend(ShardBackend):
+    """Run tasks in worker processes holding shard replicas.
+
+    Each shard label is pinned to one single-process pool (a replica is
+    mutable state; it must only ever live in one process), assigned
+    round-robin over *workers* slots.  Pools use the ``spawn`` start
+    method — workers import :mod:`repro.parallel.worker` fresh, proving
+    the replica really was rebuilt from the portable spec rather than
+    inherited address space.  Replicas install lazily on a shard's first
+    window (amortized over its lifetime); per window only stamped value
+    tuples go down and touched ``(key, state)`` pairs come back.
+
+    A worker that raises keeps its pool: the window failed, the parent
+    watermark stands, and the next dispatch retries cleanly.  A worker
+    that *dies* breaks its pool; its slot is marked and every subsequent
+    dispatch to shards on that slot raises
+    :class:`~repro.errors.EngineError` (the replica state is gone — a
+    restore or restart must rebuild it).
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int) -> None:
+        self.workers = max(1, workers)
+        self._context = multiprocessing.get_context("spawn")
+        self._pools: List[Optional[ProcessPoolExecutor]] = [None] * self.workers
+        self._assignment: Dict[str, int] = {}
+        self._installed: Set[str] = set()
+        self._broken: Dict[int, str] = {}
+
+    # -- pool management ---------------------------------------------------------------
+
+    def _slot_of(self, label: str) -> int:
+        slot = self._assignment.get(label)
+        if slot is None:
+            slot = self._assignment[label] = len(self._assignment) % self.workers
+        return slot
+
+    def _pool_for(self, label: str) -> ProcessPoolExecutor:
+        slot = self._slot_of(label)
+        if slot in self._broken:
+            raise EngineError(
+                f"shard {label!r}'s worker process died previously "
+                f"({self._broken[slot]}); its replica state is gone — "
+                f"restore from a checkpoint or rebuild the database"
+            )
+        pool = self._pools[slot]
+        if pool is None:
+            pool = self._pools[slot] = ProcessPoolExecutor(
+                max_workers=1, mp_context=self._context
+            )
+        return pool
+
+    def _mark_broken(self, label: str, exc: BaseException) -> None:
+        slot = self._slot_of(label)
+        self._broken[slot] = repr(exc)
+        pool = self._pools[slot]
+        if pool is not None:
+            pool.shutdown(wait=False)
+            self._pools[slot] = None
+        self._installed = {
+            installed
+            for installed in self._installed
+            if self._assignment.get(installed) != slot
+        }
+
+    def _ensure_installed(self, unit: ShardUnit) -> ProcessPoolExecutor:
+        pool = self._pool_for(unit.label)
+        if unit.label not in self._installed:
+            pool.submit(worker_install, unit.spec()).result()
+            self._installed.add(unit.label)
+        return pool
+
+    # -- dispatch ----------------------------------------------------------------------
+
+    def run(self, tasks: Sequence[ShardTask]) -> None:
+        submitted: List[Tuple[ShardTask, Any]] = []
+        error: Optional[BaseException] = None
+        for task in tasks:
+            unit = task.unit
+            try:
+                pool = self._ensure_installed(unit)
+                payload = {
+                    name: [row.values for row in rows]
+                    for name, rows in task.event.items()
+                }
+                future = pool.submit(
+                    worker_apply, unit.label, payload, task.watermark
+                )
+            except BrokenProcessPool as exc:
+                # The pool's management thread already noticed the death;
+                # submit refuses synchronously.
+                self._mark_broken(unit.label, exc)
+                if error is None:
+                    error = EngineError(
+                        f"shard {unit.label!r}'s worker process died: {exc!r}"
+                    )
+                    error.__cause__ = exc
+                continue
+            except EngineError as exc:
+                # A previously broken slot (_pool_for refuses).
+                if error is None:
+                    error = exc
+                continue
+            submitted.append((task, future))
+        for task, future in submitted:
+            try:
+                items, records, elapsed, stats = future.result()
+            except BrokenProcessPool as exc:
+                self._mark_broken(task.unit.label, exc)
+                if error is None:
+                    error = EngineError(
+                        f"shard {task.unit.label!r}'s worker process died "
+                        f"mid-window: {exc!r}"
+                    )
+                    error.__cause__ = exc
+                continue
+            except BaseException as exc:
+                if error is None:
+                    error = exc
+                continue
+            task.unit.absorb(
+                items, task.watermark, task.window, records, elapsed, stats
+            )
+        if error is not None:
+            raise error
+
+    def queue_depth(self) -> int:
+        depth = 0
+        for pool in self._pools:
+            if pool is not None:
+                pending = getattr(pool, "_pending_work_items", None)
+                if pending is not None:
+                    depth += len(pending)
+        return depth
+
+    # -- registration tracking ---------------------------------------------------------
+
+    def view_added(self, shard_group: "ShardGroup", name: str) -> None:
+        for unit in shard_group.units:
+            if unit.label in self._installed:
+                summary_sp, state, chronicles = unit.view_payload(name)
+                self._pool_for(unit.label).submit(
+                    worker_add_view, unit.label, name, summary_sp, state, chronicles
+                ).result()
+
+    def view_removed(self, shard_group: "ShardGroup", name: str) -> None:
+        for unit in shard_group.units:
+            if unit.label in self._installed:
+                self._pool_for(unit.label).submit(
+                    worker_remove_view, unit.label, name
+                ).result()
+
+    def reset_units(self, shard_groups: Sequence["ShardGroup"]) -> None:
+        """Forget installed replicas; next dispatch reinstalls from state."""
+        self._installed.clear()
+
+    def close(self) -> None:
+        for pool in self._pools:
+            if pool is not None:
+                pool.shutdown(wait=True)
+        self._pools = [None] * self.workers
+
+
+_BACKENDS = {
+    "serial": SerialShardBackend,
+    "thread": ThreadShardBackend,
+    "process": ProcessShardBackend,
+}
+
+
+class ParallelMaintainer:
+    """Fans per-shard maintenance tasks out through a :class:`ShardBackend`.
+
+    ``executor="thread"`` runs tasks on a worker thread pool;
+    ``"serial"`` runs them inline (deterministic, handy under
+    debuggers); ``"process"`` ships windows to worker processes holding
+    portable shard replicas — true multi-core maintenance.  The dispatch
+    path, watermark bookkeeping, lag gauges, and trace correlation are
+    identical across executors; only *where* a window executes differs.
+    """
+
+    def __init__(self, executor: str = "thread", workers: int = 4) -> None:
+        factory = _BACKENDS.get(executor)
+        if factory is None:
+            raise EngineError(f"unknown executor {executor!r}")
+        self.executor = executor
+        self.workers = workers
+        self._backend: ShardBackend = (
+            factory() if executor == "serial" else factory(workers)
+        )
+
+    def run(self, tasks: Sequence[ShardTask]) -> None:
+        """Run every task; re-raises the first failure after all finish."""
+        if not tasks:
+            return
+        self._backend.run(tasks)
+
+    def queue_depth(self) -> int:
+        """Tasks waiting in the backend's queue (0 for serial).
 
         A best-effort probe of the executor's internal work queue —
         under the synchronous :meth:`run` it only exceeds zero while a
         window is mid-flight, which is exactly when health snapshots
         taken from other threads want to see it.
         """
-        if self._pool is None:
-            return 0
-        queue = getattr(self._pool, "_work_queue", None)
-        return int(queue.qsize()) if queue is not None else 0
+        return self._backend.queue_depth()
+
+    def view_added(self, shard_group: "ShardGroup", name: str) -> None:
+        self._backend.view_added(shard_group, name)
+
+    def view_removed(self, shard_group: "ShardGroup", name: str) -> None:
+        self._backend.view_removed(shard_group, name)
+
+    def reset_units(self, shard_groups: Sequence["ShardGroup"]) -> None:
+        self._backend.reset_units(shard_groups)
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
+        self._backend.close()
 
     def __repr__(self) -> str:
         return f"ParallelMaintainer(executor={self.executor!r}, workers={self.workers})"
@@ -528,14 +946,27 @@ class ShardedDatabase(ChronicleDatabase):
         if view_name in self._merged:
             raise ViewRegistrationError(f"view name {view_name!r} already registered")
         spec = infer_partition(summary)
+        fallback: Optional[Tuple[str, type]] = None
         if spec is UNPARTITIONABLE:
-            warnings.warn(
+            fallback = (
                 f"view {view_name!r} is unpartitionable (its summary key has "
                 f"no copy lineage to every scanned chronicle); maintaining it "
                 f"on the serial shard",
                 UnpartitionableViewWarning,
-                stacklevel=4,
             )
+        elif self.config.executor == "process" and not is_portable(summary):
+            # The process executor must ship the view definition to a
+            # worker; a definition referencing process-local state (live
+            # relations, lambdas in user aggregates) cannot cross.
+            fallback = (
+                f"view {view_name!r} has no portable definition (it "
+                f"references process-local state such as a relation or a "
+                f"non-picklable function); maintaining it on the serial shard",
+                NonPortableViewWarning,
+            )
+        if fallback is not None:
+            message, category = fallback
+            warnings.warn(message, category, stacklevel=4)
             obs = obs_runtime.ACTIVE
             if obs is not None:
                 obs.metrics.inc("shard_fallback_total", view=view_name)
@@ -550,6 +981,9 @@ class ShardedDatabase(ChronicleDatabase):
         self._merged[view_name] = merged
         if materialize:
             self._materialize_partitioned(shard_group, view_name, summary)
+        # After materialization, so an installed worker replica receives
+        # the view's seeded state, not an empty partition.
+        self._maintainer.view_added(shard_group, view_name)
         return merged
 
     def _shard_group_for(
@@ -602,6 +1036,7 @@ class ShardedDatabase(ChronicleDatabase):
         if merged is None:
             super().drop_view(name)
             return
+        self._maintainer.view_removed(merged._shard_group, name)
         merged._shard_group.remove_view(name)
 
     def view(self, name: str) -> Any:
@@ -739,7 +1174,7 @@ class ShardedDatabase(ChronicleDatabase):
         watermark: SequenceNumber,
         admitted_at: Optional[float] = None,
     ) -> None:
-        tasks: List[Callable[[], None]] = []
+        tasks: List[ShardTask] = []
         obs = obs_runtime.ACTIVE
         window: Optional[ShardWindow] = None
         if admitted_at is None:
@@ -760,7 +1195,7 @@ class ShardedDatabase(ChronicleDatabase):
                 # the in-flight window as lag, not as silence.
                 unit.dispatched = watermark
                 unit.dispatched_at = admitted_at
-                tasks.append(partial(unit.apply, event, watermark, window))
+                tasks.append(ShardTask(unit, event, watermark, window))
                 if obs is not None:
                     obs.metrics.inc(
                         "shard_records_total",
@@ -790,13 +1225,17 @@ class ShardedDatabase(ChronicleDatabase):
     @property
     def stats(self) -> Dict[str, Any]:
         """Database-wide maintenance stats merged across every registry."""
+        units = [
+            unit
+            for shard_group in self._shard_groups.values()
+            for unit in shard_group.units
+        ]
         return ViewRegistry.merge_stats(
             [self.registry.stats]
-            + [
-                unit.registry.stats
-                for shard_group in self._shard_groups.values()
-                for unit in shard_group.units
-            ]
+            + [unit.registry.stats for unit in units]
+            # Under the process executor the maintaining registry lives
+            # in the worker; each window returns its cumulative stats.
+            + [unit.remote_stats for unit in units if unit.remote_stats]
         )
 
     def watermarks(self) -> Dict[str, SequenceNumber]:
@@ -860,19 +1299,26 @@ class ShardedDatabase(ChronicleDatabase):
     def shard_groups(self) -> Tuple[ShardGroup, ...]:
         return tuple(self._shard_groups.values())
 
-    # -- gated operations -------------------------------------------------------------
-
-    def checkpoint(self, path: str) -> None:
-        raise EngineError(
-            "checkpoint/restore is not supported by the sharded engine yet "
-            "(shard routing uses the process-local hash); use engine='serial'"
-        )
+    # -- durability -------------------------------------------------------------------
 
     def restore(self, path: str) -> None:
-        raise EngineError(
-            "checkpoint/restore is not supported by the sharded engine yet "
-            "(shard routing uses the process-local hash); use engine='serial'"
-        )
+        """Restore from a checkpoint, then resync shard bookkeeping.
+
+        Routing is :func:`~repro.parallel.router.stable_hash`-based, so a
+        checkpoint written by any process (or the serial engine) restores
+        here with every key on its owning shard.  Unit watermarks advance
+        to the restored admission watermark, and process-executor worker
+        replicas are invalidated — the next window reinstalls them from
+        the restored state.
+        """
+        super().restore(path)
+        for shard_group in self._shard_groups.values():
+            watermark = shard_group.source_group.watermark
+            for unit in shard_group.units:
+                with unit.lock:
+                    unit.watermark = watermark
+                    unit.dispatched = watermark
+        self._maintainer.reset_units(self.shard_groups)
 
     # -- lifecycle ----------------------------------------------------------------------
 

@@ -10,19 +10,50 @@ land on the same shard.  A summary-key lookup hashes the key values
 themselves — the same tuple — to find the owning shard without touching
 the others.
 
-Hashing uses Python's built-in ``hash`` of the value tuple: stable
-within a process, which is all the sharded engine needs (shard state is
-rebuilt from the serial admission stream, never persisted; see
-``ShardedDatabase.checkpoint``).
+Hashing uses :func:`stable_hash` — CRC-32 over the canonical ``repr`` of
+the value tuple — **not** Python's built-in ``hash``.  The builtin is
+salted per interpreter (``PYTHONHASHSEED``), which made shard placement
+a process-local accident: checkpoints could not be restored into a new
+process, and worker processes could not agree with the parent on who
+owns which key.  ``stable_hash`` is identical across interpreter runs,
+hash seeds, and platforms, so shard state is *portable*: a checkpoint
+written by one process restores into another, and the process executor
+(:mod:`repro.parallel.worker`) routes exactly like the admission thread.
 """
 
 from __future__ import annotations
 
+import zlib
 from typing import Any, Dict, List, Sequence, Tuple
 
 from ..algebra.plan import PartitionSpec
 from ..core.chronicle import Chronicle
 from ..relational.tuples import Row
+
+
+def _canonical(value: Any) -> Any:
+    """Normalize cross-type-equal values so they hash identically.
+
+    The builtin ``hash`` guarantees ``hash(1) == hash(1.0) == hash(True)``;
+    a repr-based hash does not, so integral floats and bools are folded
+    to ``int`` — a lookup key ``(1.0,)`` keeps finding state routed for
+    ``(1,)``, exactly as before.
+    """
+    if value is True or value is False:
+        return int(value)
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value
+
+
+def stable_hash(key: Sequence[Any]) -> int:
+    """A deterministic, ``PYTHONHASHSEED``-independent hash of a key tuple.
+
+    CRC-32 of the UTF-8 ``repr`` of the canonicalized value tuple.  Keys
+    are routing attributes / summary keys — small tuples of domain values
+    (ints, floats, strings, bools, None) whose ``repr`` is deterministic.
+    """
+    return zlib.crc32(repr(tuple(_canonical(v) for v in key)).encode("utf-8"))
 
 
 class ShardRouter:
@@ -55,13 +86,13 @@ class ShardRouter:
 
     def shard_of_key(self, key: Sequence[Any]) -> int:
         """The shard owning the view row at a summary *key*."""
-        return hash(tuple(key)) % self.shards
+        return stable_hash(key) % self.shards
 
     def shard_of_row(self, chronicle_name: str, row: Row) -> int:
         """The shard a stamped record belongs to."""
         positions = self._positions[chronicle_name]
         values = row.values
-        return hash(tuple(values[p] for p in positions)) % self.shards
+        return stable_hash(tuple(values[p] for p in positions)) % self.shards
 
     def route(
         self, chronicle_name: str, rows: Sequence[Row]
@@ -72,7 +103,7 @@ class ShardRouter:
         out: Dict[int, List[Row]] = {}
         for row in rows:
             values = row.values
-            index = hash(tuple(values[p] for p in positions)) % shards
+            index = stable_hash(tuple(values[p] for p in positions)) % shards
             bucket = out.get(index)
             if bucket is None:
                 bucket = out[index] = []

@@ -1,0 +1,200 @@
+"""The worker-process half of the ``process`` shard executor.
+
+A worker process holds a :class:`UnitReplica` per shard label it was
+assigned: mirror chronicles (``retention=0``) rebuilt from portable
+schema specs, plus a private :class:`~repro.views.registry.ViewRegistry`
+of views rebuilt from portable summary specs
+(:func:`~repro.algebra.plan.summary_spec`) and seeded from the parent's
+fold-state snapshot.  The replica is a faithful reconstruction of the
+parent-side :class:`~repro.parallel.engine.ShardUnit` — same registry
+settings (no prefilter, compile as configured), same coalesced
+``ingest_stamped`` maintenance path — so the per-window fold it computes
+is exactly what the thread executor would compute in place.
+
+The cross-process contract is byte-minimal in both directions:
+
+* **down** — one installed spec per shard (amortized over its lifetime),
+  then per window only ``{chronicle: [value tuples]}`` plus the
+  watermark: rows were validated at admission, so workers rebuild them
+  with the unchecked constructor;
+* **up** — per window, only the ``(key, state)`` pairs the window
+  actually touched per view (the χ-delta's summary keys), from which the
+  parent regenerates visible rows via
+  :meth:`~repro.sca.view.PersistentView.absorb_states`.  View state
+  never crosses whole.
+
+Workers run without observability installed (spawned processes never
+inherit the parent's runtime); the parent emits linked spans and gauges
+from the timings each window returns.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..algebra.plan import build_schema, build_summary
+from ..core.chronicle import Chronicle
+from ..core.group import ChronicleGroup
+from ..core.sequence import SequenceNumber
+from ..relational.tuples import Row
+from ..sca.view import PersistentView
+from ..views.registry import ViewRegistry
+
+#: ``(chronicle name, schema_spec)`` pairs.
+ChronicleSpecs = Tuple[Tuple[str, Tuple[Any, ...]], ...]
+#: ``(view name, summary_spec, state items)`` triples.
+ViewSpecs = Tuple[Tuple[str, Tuple[Any, ...], List[Tuple[Any, Any]]], ...]
+#: One window's payload: chronicle name -> stamped value tuples.
+WindowValues = Mapping[str, Sequence[Tuple[Any, ...]]]
+
+
+class ShardUnitSpec:
+    """Everything a worker needs to rebuild one shard unit.
+
+    Built by :meth:`~repro.parallel.engine.ShardUnit.spec` under the
+    unit's lock; a plain attribute bag so it pickles by default.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        compile_plans: bool,
+        chronicles: ChronicleSpecs,
+        views: ViewSpecs,
+        watermark: SequenceNumber,
+    ) -> None:
+        self.label = label
+        self.compile_plans = compile_plans
+        self.chronicles = chronicles
+        self.views = views
+        self.watermark = watermark
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardUnitSpec({self.label!r}, chronicles={len(self.chronicles)}, "
+            f"views={len(self.views)}, watermark={self.watermark})"
+        )
+
+
+class _RecordingView(PersistentView):
+    """A persistent view that records the summary keys each fold touches.
+
+    The recorded keys are exactly the view rows a window changed — the
+    compact delta summary the worker sends back instead of its whole
+    partition.
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.touched: set = set()
+
+    def _fold(self, delta: Any) -> int:
+        if not delta.is_empty:
+            key_of = self.summary.key_of
+            self.touched.update(key_of(row) for row in delta.rows)
+        return super()._fold(delta)
+
+
+class UnitReplica:
+    """A worker-process reconstruction of one parent-side shard unit."""
+
+    def __init__(self, spec: ShardUnitSpec) -> None:
+        self.label = spec.label
+        self.group = ChronicleGroup(f"{spec.label}::replica", start=spec.watermark + 1)
+        self.registry = ViewRegistry(prefilter=False, compile=spec.compile_plans)
+        self.group.subscribe(self.registry.on_event)
+        self.watermark: SequenceNumber = spec.watermark
+        self.ensure_chronicles(spec.chronicles)
+        self.views: Dict[str, _RecordingView] = {}
+        for name, summary_sp, state_items in spec.views:
+            self.add_view(name, summary_sp, state_items)
+
+    def ensure_chronicles(self, chronicles: ChronicleSpecs) -> None:
+        """Adopt mirrors for any chronicle specs not yet present."""
+        for name, schema_sp in chronicles:
+            if name not in self.group.chronicles:
+                self.group.adopt(Chronicle(name, build_schema(schema_sp), retention=0))
+
+    def add_view(
+        self,
+        name: str,
+        summary_sp: Tuple[Any, ...],
+        state_items: List[Tuple[Any, Any]],
+    ) -> None:
+        summary = build_summary(summary_sp, self.group.chronicles)
+        view = _RecordingView(name, summary)
+        view.state_import(state_items)
+        self.registry.register(view)
+        self.views[name] = view
+
+    def remove_view(self, name: str) -> None:
+        self.registry.unregister(name)
+        del self.views[name]
+
+    def apply(
+        self, window: WindowValues, watermark: SequenceNumber
+    ) -> Tuple[Dict[str, List[Tuple[Any, Any]]], int, float, Dict[str, Any]]:
+        """Absorb one coalesced maintenance window.
+
+        Returns ``(per-view touched state items, records, elapsed
+        seconds, cumulative registry stats)``.
+        """
+        started = time.perf_counter()
+        unchecked = Row.unchecked
+        event: Dict[str, Tuple[Row, ...]] = {}
+        records = 0
+        for name, values in window.items():
+            schema = self.group[name].schema
+            rows = tuple(unchecked(schema, tuple(v)) for v in values)
+            event[name] = rows
+            records += len(rows)
+        for view in self.views.values():
+            view.touched.clear()
+        self.group.ingest_stamped(event, watermark)
+        self.watermark = watermark
+        # Report every *candidate* view (its chronicles were touched —
+        # exactly the views the registry maintained this window), even
+        # with an empty item list: the parent counts a maintenance
+        # window per reported view, matching the thread executor.
+        touched_names = set(event)
+        out: Dict[str, List[Tuple[Any, Any]]] = {}
+        for name, view in self.views.items():
+            if touched_names.isdisjoint(view.chronicle_names()):
+                continue
+            state = view._state
+            out[name] = [(key, state.get(key)) for key in view.touched]
+        elapsed = time.perf_counter() - started
+        return out, records, elapsed, self.registry.stats
+
+
+#: label -> replica, module-global in each worker process.
+_REPLICAS: Dict[str, UnitReplica] = {}
+
+
+def worker_install(spec: ShardUnitSpec) -> str:
+    """(Re)build the replica for one shard label; returns the label."""
+    _REPLICAS[spec.label] = UnitReplica(spec)
+    return spec.label
+
+
+def worker_add_view(
+    label: str,
+    name: str,
+    summary_sp: Tuple[Any, ...],
+    state_items: List[Tuple[Any, Any]],
+    chronicles: ChronicleSpecs,
+) -> None:
+    replica = _REPLICAS[label]
+    replica.ensure_chronicles(chronicles)
+    replica.add_view(name, summary_sp, state_items)
+
+
+def worker_remove_view(label: str, name: str) -> None:
+    _REPLICAS[label].remove_view(name)
+
+
+def worker_apply(
+    label: str, window: WindowValues, watermark: SequenceNumber
+) -> Tuple[Dict[str, List[Tuple[Any, Any]]], int, float, Dict[str, Any]]:
+    return _REPLICAS[label].apply(window, watermark)

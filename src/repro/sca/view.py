@@ -19,7 +19,7 @@ Theorems 4.2/4.4.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..algebra.ast import Node
 from ..algebra.classify import Classification, IMClass, Language, classify
@@ -196,6 +196,92 @@ class PersistentView:
             else:
                 self._state.replace(key, count + 1)
         return len(delta.rows)
+
+    # -- portable state ---------------------------------------------------------------
+
+    def state_export(self) -> List[Tuple[Tuple[Any, ...], Any]]:
+        """The view's fold state as portable ``(key, state)`` items.
+
+        For grouping summaries the state is the accumulator list; for
+        projections the multiplicity count.  Together with the summary
+        definition this is the view's *entire* durable state — the
+        visible rows are a pure function of it (``view_row``) — so the
+        items are what crosses process boundaries (shard snapshots) and
+        what checkpoints persist.
+        """
+        return [(key, value) for key, value in self._state.items()]
+
+    def state_import(
+        self,
+        items: Iterable[Tuple[Any, Any]],
+        maintenance_count: Optional[int] = None,
+    ) -> None:
+        """Replace the fold state wholesale; rebuilds the visible rows.
+
+        The inverse of :meth:`state_export`: clears current state and
+        regenerates the materialized relation from the imported
+        accumulators, so a view rebuilt in a worker process (or restored
+        from a checkpoint) is byte-for-byte the view that exported.
+        """
+        if maintenance_count is not None:
+            self._maintenance_count = maintenance_count
+        self.relation.clear()
+        self._state.clear()
+        summary = self.summary
+        if isinstance(summary, GroupBySummary):
+            for key, states in items:
+                key = tuple(key)
+                states = list(states)
+                self._state.replace(key, states)
+                self.relation.insert(summary.view_row(key, states))
+            if not summary.grouping and self._state.get(()) is None:
+                # Preserve the constructor invariant: a global aggregate
+                # always shows its single group row.
+                states = summary.initial_states()
+                self._state.replace((), states)
+                self.relation.insert(summary.view_row((), states))
+        else:
+            assert isinstance(summary, ProjectSummary)
+            for key, count in items:
+                key = tuple(key)
+                self._state.replace(key, count)
+                self.relation.insert(summary.view_row(key))
+
+    def absorb_states(self, items: Iterable[Tuple[Any, Any]]) -> None:
+        """Merge authoritative per-key states computed elsewhere.
+
+        The parent-side half of process-shard maintenance: a worker
+        returns the post-fold state of exactly the keys one window
+        touched, and this replaces those keys' accumulators and visible
+        rows — the same insert/replace discipline as :meth:`_fold`, so a
+        reader under the shard lock sees whole windows or nothing.  Each
+        call counts as one maintenance window, mirroring
+        :meth:`apply_delta`.
+        """
+        self._maintenance_count += 1
+        summary = self.summary
+        if isinstance(summary, GroupBySummary):
+            grouping = bool(summary.grouping)
+            for key, states in items:
+                key = tuple(key)
+                states = list(states)
+                existing = self._state.get(key)
+                self._state.replace(key, states)
+                row = summary.view_row(key, states)
+                if existing is None:
+                    self.relation.insert(row)
+                elif grouping:
+                    self.relation.replace_key(key, row)
+                else:
+                    self.relation.clear()
+                    self.relation.insert(row)
+        else:
+            assert isinstance(summary, ProjectSummary)
+            for key, count in items:
+                key = tuple(key)
+                if self._state.get(key) is None:
+                    self.relation.insert(summary.view_row(key))
+                self._state.replace(key, count)
 
     def initialize_from_store(self) -> int:
         """Materialize the view from currently stored chronicle history.

@@ -3,14 +3,26 @@
 Covers partition inference (copy lineage -> PartitionSpec, the
 UNPARTITIONABLE cases), the shard-determinism property (sharded N-worker
 state must equal serial state after arbitrary interleaved batch appends,
-for every workload generator), the serial-shard fallback (warning +
-metric), snapshot reads through MergedView, DatabaseConfig validation
-and the deprecated-keyword shim, engine selection, the gated process
-executor and checkpoint paths, and exporter lifetime (close(), context
-manager, GC finalizer).
+for every workload generator — under the thread, serial, *and* process
+executors), stable hash-routing (identical across interpreter runs and
+hash seeds), portable plan/summary/snapshot specs (pickle round-trips,
+worker replica reconstruction), the process executor's crash contract
+(engine_errors_total + incident bundle + consistent watermarks), sharded
+checkpoint/restore (including cross-engine), the serial-shard fallback
+(warning + metric, for unpartitionable and non-portable views), snapshot
+reads through MergedView, DatabaseConfig validation and the
+deprecated-keyword shim, engine selection, and exporter lifetime
+(close(), context manager, GC finalizer).
 """
 
 import gc
+import json
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import time
 import urllib.error
 import urllib.request
 import warnings
@@ -35,10 +47,22 @@ from repro.algebra.plan import UNPARTITIONABLE, PartitionSpec, infer_partition
 from repro.core.config import DatabaseConfig as ConfigAlias
 from repro.errors import ConfigError, EngineError
 from repro.obs import runtime as obs_runtime
+from repro.algebra.plan import (
+    build_schema,
+    build_summary,
+    is_portable,
+    schema_spec,
+    summary_spec,
+)
+from repro.aggregates.base import IncrementalAggregate
 from repro.parallel import (
+    NonPortableViewWarning,
     ShardedDatabase,
     ShardRouter,
+    ShardUnitSpec,
+    UnitReplica,
     UnpartitionableViewWarning,
+    stable_hash,
 )
 from repro.relational.predicate import attr_cmp, attr_eq
 from repro.sca.summarize import GroupBySummary
@@ -190,6 +214,25 @@ class TestShardDeterminism:
     def test_sharded_equals_serial(
         self, workload_index, shards, executor, batch_sizes, window_cut, data
     ):
+        self._check(workload_index, shards, executor, batch_sizes, window_cut, data)
+
+    @settings(max_examples=3, deadline=None)
+    @given(
+        workload_index=st.integers(min_value=0, max_value=len(WORKLOADS) - 1),
+        shards=st.integers(min_value=1, max_value=2),
+        batch_sizes=st.lists(
+            st.integers(min_value=1, max_value=5), min_size=1, max_size=6
+        ),
+        window_cut=st.integers(min_value=1, max_value=4),
+        data=st.data(),
+    )
+    def test_sharded_equals_serial_process(
+        self, workload_index, shards, batch_sizes, window_cut, data
+    ):
+        # Small example budget: every example spawns worker processes.
+        self._check(workload_index, shards, "process", batch_sizes, window_cut, data)
+
+    def _check(self, workload_index, shards, executor, batch_sizes, window_cut, data):
         workload_cls, key, value = WORKLOADS[workload_index]
         serial, workload = _build(workload_cls, key, value)
         sharded, _ = _build(
@@ -475,20 +518,369 @@ class TestEngineSelection:
         assert db.view_value("usage", (1,), "total") == 7
 
 
-class TestGatedPaths:
-    def test_process_executor_is_gated(self):
-        with pytest.raises(EngineError):
-            ChronicleDatabase(
-                config=DatabaseConfig(engine="sharded", executor="process")
-            )
+# ---------------------------------------------------------------------------
+# Stable routing (PYTHONHASHSEED-independent)
+# ---------------------------------------------------------------------------
 
-    def test_checkpoint_is_gated(self, tmp_path):
-        db = ChronicleDatabase(config=DatabaseConfig(engine="sharded"))
+
+_ROUTING_PROBE = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.parallel import ShardRouter, stable_hash
+from repro.algebra.plan import PartitionSpec
+router = ShardRouter(PartitionSpec({{"a": ("acct",)}}), shards=8)
+keys = [("alice",), ("bob",), (42,), (3.5, "x"), (None,), (True, 7)]
+print(",".join(str(router.shard_of_key(k)) for k in keys))
+"""
+
+
+class TestStableRouting:
+    def test_routing_identical_across_interpreter_runs(self):
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        outputs = set()
+        for seed in ("0", "12345", "random"):
+            result = subprocess.run(
+                [sys.executable, "-c", _ROUTING_PROBE.format(src=os.path.abspath(src))],
+                env={**os.environ, "PYTHONHASHSEED": seed},
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+            outputs.add(result.stdout.strip())
+        assert len(outputs) == 1, outputs
+
+    def test_cross_type_equal_keys_hash_identically(self):
+        # The builtin hash guarantees hash(1) == hash(1.0) == hash(True);
+        # routing must preserve that so lookups keyed either way agree.
+        assert stable_hash((1,)) == stable_hash((1.0,)) == stable_hash((True,))
+        assert stable_hash((0,)) == stable_hash((0.0,)) == stable_hash((False,))
+        assert stable_hash((1.5,)) != stable_hash((1,))
+
+    def test_stable_hash_is_deterministic_value(self):
+        # Pin a few values: a change here silently strands every existing
+        # checkpoint's shard placement.
+        import zlib
+
+        assert stable_hash(("alice",)) == zlib.crc32(b"('alice',)")
+        assert stable_hash((42,)) == zlib.crc32(b"(42,)")
+
+
+# ---------------------------------------------------------------------------
+# Portable specs (pickle round-trips) and worker replicas
+# ---------------------------------------------------------------------------
+
+
+class TestPortableSpecs:
+    def test_partition_spec_pickles(self):
+        spec_ = PartitionSpec({"a": ("acct",), "b": ("acct", "branch")})
+        clone = pickle.loads(pickle.dumps(spec_))
+        assert clone == spec_
+        assert clone.canonical() == spec_.canonical()
+
+    def test_schema_spec_round_trips(self):
+        db = ChronicleDatabase()
+        db.create_chronicle("calls", [("caller", "INT"), ("minutes", "INT")])
+        schema = db.chronicle("calls").schema
+        spec_ = pickle.loads(pickle.dumps(schema_spec(schema)))
+        rebuilt = build_schema(spec_)
+        assert rebuilt.names == schema.names
+        assert rebuilt.sequence_attribute == schema.sequence_attribute
+        assert [a.domain for a in rebuilt.attributes] == [
+            a.domain for a in schema.attributes
+        ]
+
+    def test_summary_spec_round_trips(self):
+        db = ChronicleDatabase()
+        db.create_chronicle("calls", [("caller", "INT"), ("minutes", "INT")])
+        chron = db.chronicle("calls")
+        summary = GroupBySummary(
+            scan(chron).select(attr_cmp("minutes", ">", 3)),
+            ["caller"],
+            [spec(SUM, "minutes"), spec(COUNT)],
+        )
+        assert is_portable(summary)
+        payload = pickle.loads(pickle.dumps(summary_spec(summary)))
+        rebuilt = build_summary(payload, {"calls": chron})
+        assert rebuilt.output_schema.names == summary.output_schema.names
+        assert [s.output for s in rebuilt.aggregates] == [
+            s.output for s in summary.aggregates
+        ]
+
+    def test_shard_snapshot_round_trips_through_a_replica(self):
+        db = ChronicleDatabase(
+            config=DatabaseConfig(engine="sharded", shards=2, executor="serial")
+        )
         try:
-            with pytest.raises(EngineError):
-                db.checkpoint(str(tmp_path / "ckpt"))
-            with pytest.raises(EngineError):
-                db.restore(str(tmp_path / "ckpt"))
+            db.create_chronicle("calls", [("caller", "INT"), ("minutes", "INT")])
+            chron = db.chronicle("calls")
+            db.define_view(
+                GroupBySummary(
+                    scan(chron), ["caller"], [spec(SUM, "minutes"), spec(COUNT)]
+                ),
+                name="usage",
+            )
+            for i in range(30):
+                db.append("calls", {"caller": i % 5, "minutes": i})
+            (shard_group,) = db.shard_groups
+            for unit in shard_group.units:
+                snapshot = pickle.loads(pickle.dumps(unit.spec()))
+                assert isinstance(snapshot, ShardUnitSpec)
+                assert snapshot.watermark == unit.watermark
+                replica = UnitReplica(snapshot)
+                original = unit.registry.view("usage")
+                rebuilt = replica.registry.view("usage")
+                assert sorted(
+                    tuple(r.values) for r in rebuilt.rows()
+                ) == sorted(tuple(r.values) for r in original.rows())
+                assert sorted(rebuilt.state_export()) == sorted(
+                    original.state_export()
+                )
+        finally:
+            db.close()
+
+
+# ---------------------------------------------------------------------------
+# The process executor
+# ---------------------------------------------------------------------------
+
+
+def _sharded_process_db(shards=2):
+    db = ChronicleDatabase(
+        config=DatabaseConfig(engine="sharded", shards=shards, executor="process")
+    )
+    db.create_chronicle("calls", [("caller", "INT"), ("minutes", "INT")])
+    chron = db.chronicle("calls")
+    db.define_view(
+        GroupBySummary(scan(chron), ["caller"], [spec(SUM, "minutes"), spec(COUNT)]),
+        name="usage",
+    )
+    return db
+
+
+class TestProcessExecutor:
+    def test_process_executor_is_accepted(self):
+        db = ChronicleDatabase(
+            config=DatabaseConfig(engine="sharded", shards=2, executor="process")
+        )
+        try:
+            assert db._maintainer.executor == "process"
+        finally:
+            db.close()
+
+    def test_maintains_views_and_reads_merge(self):
+        db = _sharded_process_db()
+        try:
+            for i in range(20):
+                db.append("calls", {"caller": i % 4, "minutes": i})
+            assert db.view_value("usage", (1,), "sum_minutes") == 1 + 5 + 9 + 13 + 17
+            assert len(db.view("usage")) == 4
+            marks = db.watermarks()
+            assert marks["kc0:0"] == marks["serial/default"] or (
+                marks["kc0:1"] == marks["serial/default"]
+            )
+        finally:
+            db.close()
+
+    def test_worker_crash_contract(self, tmp_path):
+        db = _sharded_process_db()
+        obs = db.enable_observability(audit="off", incident_dir=str(tmp_path))
+        try:
+            db.ingest("calls", [[{"caller": i % 4, "minutes": i}] for i in range(8)])
+            marks_before = dict(db.watermarks())
+            backend = db._maintainer._backend
+            for pool in backend._pools:
+                if pool is not None:
+                    for pid in list(pool._processes):
+                        os.kill(pid, signal.SIGKILL)
+            time.sleep(0.3)
+            with pytest.raises(EngineError, match="worker process died"):
+                db.append("calls", {"caller": 1, "minutes": 99})
+            assert obs.metrics.value("engine_errors_total") == 1
+            bundles = list(tmp_path.glob("incident-*-shard-worker-error.json"))
+            assert len(bundles) == 1
+            bundle = json.loads(bundles[0].read_text())
+            assert "worker process died" in bundle["context"]["error"]
+            # The failed window never became visible: shard watermarks
+            # stand where they were, admission has moved ahead (lag).
+            marks_after = db.watermarks()
+            for label in ("kc0:0", "kc0:1"):
+                assert marks_after[label] == marks_before[label]
+            assert marks_after["serial/default"] > marks_before["serial/default"]
+            # The replica's state died with the process: later windows
+            # routed there must refuse rather than diverge silently —
+            # first discovering the remaining dead slot, then refusing
+            # outright once every slot is marked broken.
+            with pytest.raises(EngineError, match="worker process died"):
+                db.ingest(
+                    "calls", [[{"caller": c, "minutes": 1}] for c in range(4)]
+                )
+            with pytest.raises(EngineError, match="died previously"):
+                db.ingest(
+                    "calls", [[{"caller": c, "minutes": 1}] for c in range(4)]
+                )
+        finally:
+            obs.uninstall()
+            db.close()
+
+    def test_nonportable_view_falls_back_to_serial_shard(self):
+        class LocalSum(IncrementalAggregate):
+            # A process-local class: its summary spec cannot unpickle in
+            # a worker, so the view must stay on the serial shard.
+            name = "LOCALSUM"
+
+            def initial(self):
+                return 0
+
+            def step(self, state, value):
+                return state + value
+
+            def merge(self, left, right):
+                return left + right
+
+            def finalize(self, state):
+                return state
+
+        db = ChronicleDatabase(
+            config=DatabaseConfig(engine="sharded", shards=2, executor="process")
+        )
+        try:
+            db.create_chronicle("calls", [("caller", "INT"), ("minutes", "INT")])
+            chron = db.chronicle("calls")
+            summary = GroupBySummary(
+                scan(chron), ["caller"], [spec(LocalSum(), "minutes")]
+            )
+            assert not is_portable(summary)
+            with pytest.warns(NonPortableViewWarning):
+                db.define_view(summary, name="local")
+            assert "local" in db.fallback_views
+            db.append("calls", {"caller": 1, "minutes": 5})
+            db.append("calls", {"caller": 1, "minutes": 2})
+            assert db.view_value("local", (1,), "localsum_minutes") == 7
+        finally:
+            db.close()
+
+    def test_views_added_and_dropped_after_workers_install(self):
+        db = _sharded_process_db()
+        try:
+            for i in range(10):
+                db.append("calls", {"caller": i % 3, "minutes": i})
+            chron = db.chronicle("calls")
+            # Workers hold replicas now; the late view's materialized
+            # state (from retained history) must ship to them too.
+            db.define_view(
+                GroupBySummary(
+                    scan(chron).select(attr_cmp("minutes", ">", 4)),
+                    ["caller"],
+                    [spec(COUNT)],
+                ),
+                name="late",
+            )
+            # History: caller 0 saw minutes {0, 3, 6, 9}; two exceed 4.
+            assert db.view_value("late", (0,), "count") == 2
+            db.append("calls", {"caller": 0, "minutes": 9})
+            assert db.view_value("late", (0,), "count") == 3
+            db.drop_view("late")
+            db.append("calls", {"caller": 0, "minutes": 11})
+            assert "late" not in db.partitioned_views
+        finally:
+            db.close()
+
+
+# ---------------------------------------------------------------------------
+# Sharded checkpoint/restore (un-gated by stable routing)
+# ---------------------------------------------------------------------------
+
+
+class TestShardedCheckpoint:
+    def _fill(self, db):
+        for i in range(24):
+            db.append("calls", {"caller": i % 5, "minutes": i})
+
+    def _usage(self, db):
+        return sorted(tuple(r.values) for r in db.view("usage").rows())
+
+    def _fresh(self, executor=None, engine="sharded"):
+        if engine == "sharded":
+            config = DatabaseConfig(engine="sharded", shards=2, executor=executor)
+        else:
+            config = DatabaseConfig(engine="serial")
+        db = ChronicleDatabase(config=config)
+        db.create_chronicle("calls", [("caller", "INT"), ("minutes", "INT")])
+        chron = db.chronicle("calls")
+        db.define_view(
+            GroupBySummary(
+                scan(chron), ["caller"], [spec(SUM, "minutes"), spec(COUNT)]
+            ),
+            name="usage",
+        )
+        return db
+
+    def test_round_trip_same_engine(self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        db = self._fresh("thread")
+        try:
+            self._fill(db)
+            before = self._usage(db)
+            count = db.view("usage").maintenance_count
+            db.checkpoint(path)
+        finally:
+            db.close()
+        db2 = self._fresh("thread")
+        try:
+            db2.restore(path)
+            assert self._usage(db2) == before
+            assert db2.view("usage").maintenance_count == count
+            # The restored database continues: watermark advanced, new
+            # appends route to the same shards the keys lived on.
+            db2.append("calls", {"caller": 2, "minutes": 100})
+            assert db2.view_value("usage", (2,), "sum_minutes") == sum(
+                i for i in range(24) if i % 5 == 2
+            ) + 100
+        finally:
+            db2.close()
+
+    def test_cross_engine_both_directions(self, tmp_path):
+        sharded_path = str(tmp_path / "sharded.json")
+        serial_path = str(tmp_path / "serial.json")
+        db = self._fresh("serial")
+        try:
+            self._fill(db)
+            expected = self._usage(db)
+            db.checkpoint(sharded_path)
+        finally:
+            db.close()
+        # sharded checkpoint -> serial engine
+        serial_db = self._fresh(engine="serial")
+        try:
+            serial_db.restore(sharded_path)
+            assert self._usage(serial_db) == expected
+            serial_db.checkpoint(serial_path)
+        finally:
+            serial_db.close()
+        # serial checkpoint -> sharded engine
+        back = self._fresh("serial")
+        try:
+            back.restore(serial_path)
+            assert self._usage(back) == expected
+        finally:
+            back.close()
+
+    def test_restore_reinstalls_process_replicas(self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        db = self._fresh("process")
+        try:
+            self._fill(db)
+            before = self._usage(db)
+            db.checkpoint(path)
+            db2 = self._fresh("process")
+            try:
+                db2.restore(path)
+                db2.append("calls", {"caller": 3, "minutes": 50})
+                db.append("calls", {"caller": 3, "minutes": 50})
+                assert self._usage(db2) == self._usage(db)
+                assert self._usage(db2) != before
+            finally:
+                db2.close()
         finally:
             db.close()
 
