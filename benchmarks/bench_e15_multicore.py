@@ -34,6 +34,14 @@ machine fingerprint's ``cpus`` plus the payload's ``executor``/
 median/MAD noise policy as E12/E14.  The sharded≡serial equivalence
 check runs under the process executor even on one core.
 
+The summary table additionally reports the process executor's IPC cost
+from a separate short instrumented pass (telemetry relay on): ``ipc
+MB/s`` — bytes crossing the process boundary per wall-clock second in
+both directions — and ``enc+dec %`` — the share of the windows' end-to-
+end visibility time spent pickling (``ipc_encode_seconds`` +
+``ipc_decode_seconds`` over ``ingest_visibility_seconds``).  The
+instrumented pass never contaminates the gated throughput numbers.
+
 Environment knobs: ``E15_WORKERS`` selects the gated worker count
 (default 2 — CI's multicore-smoke job), ``E15_TRIALS`` the measurement
 repetitions.
@@ -128,6 +136,48 @@ def _throughput(executor, workers):
     return MEASURED_WINDOWS * WINDOW * BATCH / elapsed
 
 
+def _ipc_profile(executor, workers, windows=20):
+    """One short instrumented pass measuring cross-process IPC cost.
+
+    Returns ``(ipc bytes/sec, encode+decode share of window time)`` for
+    the process executor, ``None`` for executors with no process
+    boundary.  Runs separately from the throughput measurements — the
+    telemetry relay this reads costs tracing overhead, which must never
+    contaminate the gated records/sec numbers.
+    """
+    if executor != "process":
+        return None
+    db = _build(workers, executor=executor)
+    try:
+        obs = db.enable_observability(audit="off")
+        try:
+            start = time.perf_counter()
+            for window in _windows(windows):
+                db.ingest("transactions", window)
+            elapsed = time.perf_counter() - start
+            metrics = obs.metrics
+            total_bytes = sum(
+                instrument.value
+                for name in ("ipc_bytes_down_total", "ipc_bytes_up_total")
+                for _, instrument in metrics.series(name)
+            )
+            pickling = 0.0
+            for name in ("ipc_encode_seconds", "ipc_decode_seconds"):
+                merged = metrics.merged_histogram(name)
+                if merged is not None:
+                    pickling += merged.sum
+            visibility = metrics.merged_histogram("ingest_visibility_seconds")
+            window_seconds = (
+                visibility.sum if visibility is not None and visibility.count else 0.0
+            )
+            share = pickling / window_seconds if window_seconds > 0 else 0.0
+            return total_bytes / elapsed, share
+        finally:
+            obs.uninstall()
+    finally:
+        db.close()
+
+
 def run_measurements(configs):
     """Records/sec per (executor, workers): best of REPS, interleaved so
     transient machine noise lands on every configuration alike."""
@@ -149,13 +199,27 @@ def run_report() -> str:
     for config in configs:
         executor, workers = config
         label = "serial" if executor == "serial" else f"{executor}({workers})"
+        profile = _ipc_profile(executor, workers)
+        if profile is None:
+            ipc_rate, ipc_share = "-", "-"
+        else:
+            ipc_rate = f"{profile[0] / 1e6:.2f}"
+            ipc_share = f"{profile[1] * 100:.1f}%"
         rows.append(
-            [label, f"{results[config]:,.0f}", f"{results[config] / serial:.2f}x"]
+            [
+                label,
+                f"{results[config]:,.0f}",
+                f"{results[config] / serial:.2f}x",
+                ipc_rate,
+                ipc_share,
+            ]
         )
     cpus = os.cpu_count() or 1
     note = (
         "\nexpected: process(N>=2) beats thread(N) — replicas fold in "
         "parallel interpreters while the GIL serializes threads\n"
+        "ipc MB/s and enc+dec % come from a separate instrumented pass "
+        "(telemetry relay on), not the timed throughput runs\n"
         if cpus >= 2
         else "\nnote: single-core host — the sweep cannot show scaling; "
         "run on >= 2 cores for the E15 claim\n"
@@ -163,7 +227,9 @@ def run_report() -> str:
     return (
         f"== E15  records/second by executor ({cpus} cores, "
         f"{1 + len(_KINDS) * len(_BANDS)} views) ==\n"
-        + format_table(["executor", "records/s", "vs serial"], rows)
+        + format_table(
+            ["executor", "records/s", "vs serial", "ipc MB/s", "enc+dec %"], rows
+        )
         + note
     )
 

@@ -16,6 +16,7 @@ commands::
     SHOW CATALOG;
     SHOW STATS;
     SHOW HEALTH;
+    SHOW WORKERS;
     TRACE 3;
     CERTIFY usage;
     SERVE METRICS 9464;
@@ -26,6 +27,9 @@ commands::
 ``SHOW STATS`` prints the registry routing statistics and the metrics
 snapshot; ``SHOW HEALTH`` evaluates the session's SLO policy and prints
 the OK/DEGRADED/FAILING report (with per-shard lag when sharded);
+``SHOW WORKERS`` renders the shard executor fleet — pool slots and
+their shard assignments, per-shard IPC byte/time accounting, and worker
+RSS/CPU readings when the process executor's telemetry relay has run;
 ``TRACE n`` prints the last *n* append traces (span trees with
 wall time and cost-counter diffs).  ``CERTIFY view`` runs the empirical
 conformance sweeps of :mod:`repro.obs.conformance` against the view —
@@ -262,6 +266,8 @@ class Session:
             return self._show_shards()
         if target == "HEALTH":
             return self._show_health()
+        if target == "WORKERS":
+            return self._show_workers()
         raise CliError(f"SHOW: unknown target {target!r}")
 
     def _show_health(self) -> str:
@@ -290,6 +296,73 @@ class Session:
         fallbacks = self.db.fallback_views
         if fallbacks:
             lines.append(f"  serial-shard fallbacks: {sorted(fallbacks)}")
+        return "\n".join(lines)
+
+    def _show_workers(self) -> str:
+        """The executor fleet: slots, IPC accounting, worker resources."""
+        maintainer = getattr(self.db, "_maintainer", None)
+        if maintainer is None:
+            return "  engine=serial (no shard executor; start with engine='sharded')"
+        header = f"  executor={maintainer.executor} workers={maintainer.workers}"
+        backend = maintainer._backend
+        lines = [header]
+        if maintainer.executor == "process":
+            relay = getattr(backend, "relay_telemetry", False)
+            lines[0] += f" relay_telemetry={'on' if relay else 'off'}"
+            broken = getattr(backend, "_broken", {})
+            slots: dict = {}
+            for label, slot in sorted(getattr(backend, "_assignment", {}).items()):
+                slots.setdefault(slot, []).append(label)
+            for slot in sorted(slots):
+                state = "BROKEN" if slot in broken else "ok"
+                lines.append(f"  slot {slot} [{state}]: shards {slots[slot]}")
+        obs = self.db.observability
+        if obs is None:
+            lines.append("  (observability disabled; no worker telemetry)")
+            return "\n".join(lines)
+        metrics = obs.metrics
+        down = {
+            labels.get("shard"): inst.value
+            for labels, inst in metrics.series("ipc_bytes_down_total")
+        }
+        up = {
+            labels.get("shard"): inst.value
+            for labels, inst in metrics.series("ipc_bytes_up_total")
+        }
+        if down or up:
+            lines.append("  == ipc ==")
+            pickling: dict = {}
+            for name in ("ipc_encode_seconds", "ipc_decode_seconds"):
+                for labels, inst in metrics.series(name):
+                    shard = labels.get("shard")
+                    pickling[shard] = pickling.get(shard, 0.0) + inst.sum
+            for shard in sorted(set(down) | set(up), key=str):
+                lines.append(
+                    f"  shard {shard}: down {int(down.get(shard, 0)):,}B "
+                    f"up {int(up.get(shard, 0)):,}B "
+                    f"enc+dec {pickling.get(shard, 0.0) * 1e3:.2f}ms"
+                )
+        rss = {
+            labels.get("worker"): inst.value
+            for labels, inst in metrics.series("worker_rss_bytes")
+        }
+        cpu = {
+            labels.get("worker"): inst.value
+            for labels, inst in metrics.series("worker_cpu_seconds")
+        }
+        if rss or cpu:
+            lines.append("  == workers ==")
+            for worker in sorted(set(rss) | set(cpu), key=str):
+                lines.append(
+                    f"  worker {worker}: "
+                    f"rss {rss.get(worker, 0) / (1 << 20):.1f}MiB "
+                    f"cpu {cpu.get(worker, 0.0):.2f}s"
+                )
+        if not (down or up or rss or cpu):
+            lines.append(
+                "  (no worker telemetry yet — run windows under "
+                "executor='process' with observability on)"
+            )
         return "\n".join(lines)
 
     def _observability(self):

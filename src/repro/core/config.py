@@ -69,6 +69,13 @@ class DatabaseConfig:
         (``/health``, ``SHOW HEALTH``, :meth:`ChronicleDatabase.health`)
         runs against when *observe* builds the handle.  ``None`` — the
         default policy.
+    relay_telemetry:
+        Whether ``executor="process"`` windows carry worker-side
+        telemetry (spans, metric deltas, resource readings) back to the
+        parent when observability is installed.  Costs nothing while
+        observability is off — the relay engages only when both switches
+        are on; with it off, the cross-process payload stays the
+        byte-minimal contract regardless of observability.
     aggregates:
         Aggregate registry for the view language (``None`` — a fresh
         copy of the standard registry).
@@ -82,6 +89,7 @@ class DatabaseConfig:
     observe: bool = False
     audit_mode: str = "warn"
     slo: Optional[SloPolicy] = None
+    relay_telemetry: bool = True
     aggregates: Optional[Any] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
@@ -104,6 +112,10 @@ class DatabaseConfig:
             )
         if not isinstance(self.shards, int) or self.shards < 1:
             raise ConfigError(f"shards must be a positive int, got {self.shards!r}")
+        if not isinstance(self.relay_telemetry, bool):
+            raise ConfigError(
+                f"relay_telemetry must be a bool, got {self.relay_telemetry!r}"
+            )
 
     def replace(self, **changes: Any) -> "DatabaseConfig":
         """A copy of this config with *changes* applied (validated)."""

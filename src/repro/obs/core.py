@@ -34,6 +34,19 @@ Span names are the contract between the hooks and this bridge:
     One coalesced window applied by a shard worker.  Metrics:
     ``shard_batches_total{shard}``, ``shard_apply_seconds{shard}``.
 
+Under ``executor="process"`` with the telemetry relay on
+(``DatabaseConfig.relay_telemetry``), worker-side spans arrive as
+relayed records grafted under ``shard_apply``
+(:meth:`~repro.obs.tracer.Tracer.graft` — they bypass this bridge; the
+worker's metric deltas are merged directly with ``shard``/``worker``
+labels), and the parent emits the IPC accounting series:
+``ipc_bytes_down_total{shard}`` / ``ipc_bytes_up_total{shard}``,
+``ipc_encode_seconds{shard,direction}`` /
+``ipc_decode_seconds{shard,direction}``, ``worker_rss_bytes{worker}`` /
+``worker_cpu_seconds{worker}``, and the pressure-valve counters
+``relay_spans_dropped_total{shard}`` /
+``relay_series_dropped_total{shard}``.
+
 Every finished *root* span is additionally summarized into the
 :class:`~repro.obs.recorder.FlightRecorder` ring, and listener
 exceptions are swallowed and counted

@@ -46,7 +46,15 @@ from .tracer import Span
 
 #: Attributes that identify a span within its parent (other attrs —
 #: row counts, skip counts — are measurements, not identity).
-_IDENTITY_ATTRS = ("view", "operator", "engine", "group", "chronicle", "shard")
+_IDENTITY_ATTRS = (
+    "view",
+    "operator",
+    "engine",
+    "group",
+    "chronicle",
+    "shard",
+    "worker",
+)
 
 
 # ---------------------------------------------------------------------------

@@ -71,6 +71,14 @@ class SloPolicy:
         absorbed a window while batches are pending (soft).
     max_queue_depth:
         Permitted depth of the shard executor's work queue (soft).
+    max_ipc_overhead_fraction:
+        Permitted share of the sharded write path spent pickling —
+        the summed ``ipc_encode_seconds``/``ipc_decode_seconds`` wall
+        time over the summed ``ingest_visibility_seconds`` (soft).  Only
+        evaluated once the process executor's telemetry relay has
+        produced IPC samples; above the limit, the cross-process
+        encoding — not maintenance — dominates the window and the
+        ROADMAP's shared-memory payload work is the fix.
     max_auditor_violations:
         Permitted lifetime auditor violations (hard; default 0 — the
         no-chronicle-access theorem allows none).
@@ -82,6 +90,7 @@ class SloPolicy:
     max_shard_lag_batches: int = 10_000
     max_shard_lag_seconds: float = 5.0
     max_queue_depth: int = 1_000
+    max_ipc_overhead_fraction: float = 0.5
     max_auditor_violations: int = 0
     max_engine_errors: int = 0
 
@@ -339,6 +348,33 @@ def evaluate_health(
         checks.append(
             HealthCheck(
                 "queue_depth", shard_health.queue_depth, policy.max_queue_depth
+            )
+        )
+
+    # IPC overhead: only once the process executor's telemetry relay has
+    # produced samples — a serial/thread deployment (or relay off) never
+    # grows this check, so its report keeps the classic check set.
+    encode = observability.metrics.merged_histogram("ipc_encode_seconds")
+    decode = observability.metrics.merged_histogram("ipc_decode_seconds")
+    ipc_samples = (encode.count if encode is not None else 0) + (
+        decode.count if decode is not None else 0
+    )
+    if ipc_samples:
+        ipc_seconds = (encode.sum if encode is not None else 0.0) + (
+            decode.sum if decode is not None else 0.0
+        )
+        visibility = observability.metrics.merged_histogram(
+            "ingest_visibility_seconds"
+        )
+        window_seconds = (
+            visibility.sum if visibility is not None and visibility.count else 0.0
+        )
+        fraction = ipc_seconds / window_seconds if window_seconds > 0 else 1.0
+        checks.append(
+            HealthCheck(
+                "ipc_overhead_fraction",
+                round(fraction, 6),
+                policy.max_ipc_overhead_fraction,
             )
         )
 

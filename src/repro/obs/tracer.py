@@ -135,6 +135,27 @@ class Span:
             out["children"] = [child.to_dict() for child in self.children]
         return out
 
+    def to_record(self) -> Dict[str, Any]:
+        """A compact, id-free summary of this subtree for cross-process relay.
+
+        Unlike :meth:`to_dict` this omits span/trace identity — ids are
+        process-unique and meaningless across a process boundary; the
+        receiving :meth:`Tracer.graft` mints fresh local ids under the
+        adopting parent's trace.
+        """
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "started_at": self.started_at,
+            "duration": self.duration,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.counters:
+            out["counters"] = dict(self.counters)
+        if self.children:
+            out["children"] = [child.to_record() for child in self.children]
+        return out
+
     def format(self, indent: int = 0) -> str:
         """A human-readable one-line-per-span rendering of the subtree."""
         attrs = " ".join(f"{k}={v}" for k, v in self.attrs.items())
@@ -227,6 +248,44 @@ class Tracer:
             # their parent at start().
             span.trace_id = trace_id
             span.parent_id = parent_id
+        return span
+
+    def graft(
+        self, parent: Span, records: List[Dict[str, Any]], **attrs: Any
+    ) -> List[Span]:
+        """Adopt remote span records as finished children of *parent*.
+
+        The cross-process face of :meth:`start_linked`: a worker process
+        cannot link its spans live (it holds no reference to the parent
+        tracer), so it ships compact :meth:`Span.to_record` summaries
+        back with its window result and the parent grafts them here —
+        each record becomes a real :class:`Span` with a fresh local id,
+        *parent*'s ``trace_id``, and *parent* as ``parent_id``, so a
+        ``shard_apply`` span gains its worker-side ``maintain`` children
+        and the stitched tree exports through the normal ring/JSONL
+        paths.  *attrs* (e.g. ``worker=3``) are stamped onto the
+        top-level grafted spans only.  Grafted spans do not pass through
+        ``on_span_end`` — their metrics arrive separately as relayed
+        deltas.
+        """
+        grafted = []
+        for record in records:
+            span = self._graft_one(parent, record)
+            for key, value in attrs.items():
+                span.attrs.setdefault(key, value)
+            grafted.append(span)
+        return grafted
+
+    def _graft_one(self, parent: Span, record: Dict[str, Any]) -> Span:
+        span = Span(str(record.get("name", "?")), dict(record.get("attrs", {})))
+        span.trace_id = parent.trace_id
+        span.parent_id = parent.span_id
+        span.started_at = float(record.get("started_at", span.started_at))
+        span.duration = float(record.get("duration", 0.0))
+        span.counters = dict(record.get("counters", {}))
+        parent.children.append(span)
+        for child in record.get("children", ()):
+            self._graft_one(span, child)
         return span
 
     def current(self) -> Optional[Span]:

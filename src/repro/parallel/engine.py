@@ -31,6 +31,7 @@ half-applied window (snapshot consistency via per-shard watermarks).
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -74,8 +75,10 @@ from ..views.registry import ViewRegistry
 from .router import ShardRouter
 from .worker import (
     ShardUnitSpec,
+    WindowTelemetry,
     worker_add_view,
     worker_apply,
+    worker_apply_relay,
     worker_install,
     worker_remove_view,
 )
@@ -189,6 +192,8 @@ class ShardUnit:
         "records_applied",
         "windows_applied",
         "remote_stats",
+        "remote_spans",
+        "last_window_summary",
     )
 
     def __init__(
@@ -228,6 +233,13 @@ class ShardUnit:
         #: replica (empty unless the process executor maintains it —
         #: the parent-side registry then never sees events itself).
         self.remote_stats: Dict[str, Any] = {}
+        #: The last relayed worker span records (compact dicts) — what a
+        #: worker-crash incident bundle reports as the worker's final
+        #: observed activity.
+        self.remote_spans: List[Dict[str, Any]] = []
+        #: Summary of the last window this unit absorbed (shard,
+        #: watermark, per-chronicle row counts).
+        self.last_window_summary: Optional[Dict[str, Any]] = None
 
     def mirror(self, chronicle: Chronicle) -> Chronicle:
         """The unit's mirror of a real chronicle (created on demand).
@@ -320,6 +332,10 @@ class ShardUnit:
         records: int,
         worker_seconds: float,
         stats: Dict[str, Any],
+        *,
+        telemetry: Optional[WindowTelemetry] = None,
+        ipc: Optional[Dict[str, Any]] = None,
+        worker: Optional[str] = None,
     ) -> None:
         """Make one worker-process window visible (runs on the parent).
 
@@ -329,6 +345,15 @@ class ShardUnit:
         consistency readers get from the thread executor — and performs
         the same watermark/lag/trace bookkeeping, with the worker's
         wall-clock attached to the ``shard_apply`` span.
+
+        When the telemetry relay is active, *telemetry* carries the
+        worker's captured spans and metric deltas, *ipc* the byte/time
+        readings of both pickling directions, and *worker* the pool-slot
+        label.  The spans are grafted under the ``shard_apply`` span
+        (before it finishes — they enter the ring inside the stitched
+        ingest trace), the deltas merged into the global registry with
+        ``shard``/``worker`` labels, and the IPC readings turned into
+        the ``ipc_*`` accounting series.
         """
         obs = obs_runtime.ACTIVE
         with self.lock:
@@ -349,11 +374,76 @@ class ShardUnit:
             try:
                 for name, items in per_view_items.items():
                     self.registry.view(name).absorb_states(items)
+                if span is not None and telemetry is not None and telemetry.spans:
+                    graft_attrs = {"worker": worker} if worker is not None else {}
+                    obs.tracer.graft(span, telemetry.spans, **graft_attrs)
             finally:
                 if span is not None:
                     obs.tracer.finish(span)
             self.remote_stats = stats
+            if telemetry is not None:
+                self.remote_spans = telemetry.spans
             self.mark_applied(watermark, window, records)
+            if obs is not None:
+                self._relay_metrics(obs, telemetry, ipc, worker)
+
+    def _relay_metrics(
+        self,
+        obs: Any,
+        telemetry: Optional[WindowTelemetry],
+        ipc: Optional[Dict[str, Any]],
+        worker: Optional[str],
+    ) -> None:
+        """Publish one relayed window's IPC accounting and metric deltas."""
+        metrics = obs.metrics
+        shard = self.label
+        if ipc is not None:
+            metrics.inc("ipc_bytes_down_total", ipc["bytes_down"], shard=shard)
+            metrics.inc("ipc_bytes_up_total", ipc["bytes_up"], shard=shard)
+            metrics.observe(
+                "ipc_encode_seconds",
+                ipc["encode_down_seconds"],
+                shard=shard,
+                direction="down",
+            )
+            metrics.observe(
+                "ipc_decode_seconds",
+                ipc["decode_down_seconds"],
+                shard=shard,
+                direction="down",
+            )
+            metrics.observe(
+                "ipc_encode_seconds",
+                ipc["encode_up_seconds"],
+                shard=shard,
+                direction="up",
+            )
+            metrics.observe(
+                "ipc_decode_seconds",
+                ipc["decode_up_seconds"],
+                shard=shard,
+                direction="up",
+            )
+        if telemetry is not None:
+            metrics.merge_deltas(telemetry.metrics, shard=shard, worker=worker)
+            if telemetry.spans_dropped:
+                metrics.inc(
+                    "relay_spans_dropped_total", telemetry.spans_dropped, shard=shard
+                )
+            if telemetry.metrics_dropped:
+                metrics.inc(
+                    "relay_series_dropped_total",
+                    telemetry.metrics_dropped,
+                    shard=shard,
+                )
+            if worker is not None:
+                if telemetry.maxrss_bytes:
+                    metrics.set(
+                        "worker_rss_bytes", telemetry.maxrss_bytes, worker=worker
+                    )
+                metrics.set(
+                    "worker_cpu_seconds", telemetry.cpu_seconds, worker=worker
+                )
 
     # -- portability -------------------------------------------------------------------
 
@@ -612,6 +702,20 @@ class ShardTask:
         """Apply the window on the calling thread (serial/thread backends)."""
         self.unit.apply(self.event, self.watermark, self.window)
 
+    def summary(self) -> Dict[str, Any]:
+        """A compact description of this task's window, for diagnostics.
+
+        What a worker-crash incident bundle reports about the window
+        that killed the worker: enough to characterize (and often
+        reproduce) the failure without holding row data.
+        """
+        return {
+            "shard": self.unit.label,
+            "watermark": self.watermark,
+            "chronicles": {name: len(rows) for name, rows in self.event.items()},
+            "records": sum(len(rows) for rows in self.event.values()),
+        }
+
 
 class ShardBackend:
     """Executor-agnostic contract the maintainer dispatches through.
@@ -696,6 +800,15 @@ class ProcessShardBackend(ShardBackend):
     window (amortized over its lifetime); per window only stamped value
     tuples go down and touched ``(key, state)`` pairs come back.
 
+    With observability installed (and ``relay_telemetry`` on), windows
+    travel through :func:`~repro.parallel.worker.worker_apply_relay`
+    instead: the parent pre-pickles the window (timing the encode,
+    counting the bytes) and the worker piggybacks a bounded
+    :class:`~repro.parallel.worker.WindowTelemetry` — captured spans,
+    metric deltas, resource readings — on the result, which
+    :meth:`ShardUnit.absorb` grafts, merges, and accounts.  With either
+    switch off the legacy path runs and the payload is byte-identical.
+
     A worker that raises keeps its pool: the window failed, the parent
     watermark stands, and the next dispatch retries cleanly.  A worker
     that *dies* breaks its pool; its slot is marked and every subsequent
@@ -706,8 +819,11 @@ class ProcessShardBackend(ShardBackend):
 
     name = "process"
 
-    def __init__(self, workers: int) -> None:
+    def __init__(self, workers: int, relay_telemetry: bool = True) -> None:
         self.workers = max(1, workers)
+        #: Whether windows carry telemetry back when observability is on
+        #: (:attr:`~repro.core.config.DatabaseConfig.relay_telemetry`).
+        self.relay_telemetry = bool(relay_telemetry)
         self._context = multiprocessing.get_context("spawn")
         self._pools: List[Optional[ProcessPoolExecutor]] = [None] * self.workers
         self._assignment: Dict[str, int] = {}
@@ -759,20 +875,55 @@ class ProcessShardBackend(ShardBackend):
 
     # -- dispatch ----------------------------------------------------------------------
 
+    def _relay_active(self) -> bool:
+        """Whether windows should travel through the telemetry relay.
+
+        Both switches must be on: the config knob *and* an installed
+        observability handle — with either off, dispatch uses the legacy
+        :func:`~repro.parallel.worker.worker_apply` entry point and the
+        cross-process payload is byte-identical to the minimal contract.
+        """
+        return self.relay_telemetry and obs_runtime.ACTIVE is not None
+
+    def _encode_task(self, task: ShardTask) -> Tuple[Any, Tuple[Any, ...], Optional[Dict[str, Any]]]:
+        """One task's submission: ``(worker fn, args, ipc meta or None)``.
+
+        On the relay path the parent pickles the window itself (so the
+        encode can be timed and the bytes counted); the pool then ships
+        an opaque ``bytes`` — re-pickling bytes is nearly free.  Off the
+        relay path the args are exactly PR 6's ``worker_apply`` payload.
+        """
+        payload = {
+            name: [row.values for row in rows]
+            for name, rows in task.event.items()
+        }
+        if not self._relay_active():
+            return worker_apply, (task.unit.label, payload, task.watermark), None
+        t0 = time.perf_counter()
+        blob = pickle.dumps(
+            (payload, task.watermark), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        encode_seconds = time.perf_counter() - t0
+        meta = {"bytes_down": len(blob), "encode_down_seconds": encode_seconds}
+        return worker_apply_relay, (task.unit.label, blob), meta
+
+    def _attach_diagnostics(self, exc: BaseException, task: ShardTask) -> None:
+        """Stamp the failing task's context onto *exc* for the incident path."""
+        try:
+            exc.shard_task_summary = task.summary()  # type: ignore[attr-defined]
+            exc.worker_spans = task.unit.remote_spans  # type: ignore[attr-defined]
+        except Exception:  # pragma: no cover - exotic exception types
+            pass
+
     def run(self, tasks: Sequence[ShardTask]) -> None:
-        submitted: List[Tuple[ShardTask, Any]] = []
+        submitted: List[Tuple[ShardTask, Any, Optional[Dict[str, Any]]]] = []
         error: Optional[BaseException] = None
         for task in tasks:
             unit = task.unit
             try:
                 pool = self._ensure_installed(unit)
-                payload = {
-                    name: [row.values for row in rows]
-                    for name, rows in task.event.items()
-                }
-                future = pool.submit(
-                    worker_apply, unit.label, payload, task.watermark
-                )
+                fn, args, ipc_meta = self._encode_task(task)
+                future = pool.submit(fn, *args)
             except BrokenProcessPool as exc:
                 # The pool's management thread already noticed the death;
                 # submit refuses synchronously.
@@ -782,16 +933,18 @@ class ProcessShardBackend(ShardBackend):
                         f"shard {unit.label!r}'s worker process died: {exc!r}"
                     )
                     error.__cause__ = exc
+                    self._attach_diagnostics(error, task)
                 continue
             except EngineError as exc:
                 # A previously broken slot (_pool_for refuses).
                 if error is None:
                     error = exc
+                    self._attach_diagnostics(error, task)
                 continue
-            submitted.append((task, future))
-        for task, future in submitted:
+            submitted.append((task, future, ipc_meta))
+        for task, future, ipc_meta in submitted:
             try:
-                items, records, elapsed, stats = future.result()
+                result = future.result()
             except BrokenProcessPool as exc:
                 self._mark_broken(task.unit.label, exc)
                 if error is None:
@@ -800,14 +953,43 @@ class ProcessShardBackend(ShardBackend):
                         f"mid-window: {exc!r}"
                     )
                     error.__cause__ = exc
+                    self._attach_diagnostics(error, task)
                 continue
             except BaseException as exc:
                 if error is None:
                     error = exc
+                    self._attach_diagnostics(error, task)
                 continue
-            task.unit.absorb(
-                items, task.watermark, task.window, records, elapsed, stats
-            )
+            if ipc_meta is None:
+                items, records, elapsed, stats = result
+                task.unit.absorb(
+                    items, task.watermark, task.window, records, elapsed, stats
+                )
+            else:
+                blob, worker_decode, worker_encode = result
+                t0 = time.perf_counter()
+                items, records, elapsed, stats, telemetry = pickle.loads(blob)
+                decode_up = time.perf_counter() - t0
+                ipc = {
+                    "bytes_down": ipc_meta["bytes_down"],
+                    "bytes_up": len(blob),
+                    "encode_down_seconds": ipc_meta["encode_down_seconds"],
+                    "decode_down_seconds": worker_decode,
+                    "encode_up_seconds": worker_encode,
+                    "decode_up_seconds": decode_up,
+                }
+                task.unit.absorb(
+                    items,
+                    task.watermark,
+                    task.window,
+                    records,
+                    elapsed,
+                    stats,
+                    telemetry=telemetry,
+                    ipc=ipc,
+                    worker=str(self._slot_of(task.unit.label)),
+                )
+            task.unit.last_window_summary = task.summary()
         if error is not None:
             raise error
 
@@ -866,15 +1048,23 @@ class ParallelMaintainer:
     identical across executors; only *where* a window executes differs.
     """
 
-    def __init__(self, executor: str = "thread", workers: int = 4) -> None:
+    def __init__(
+        self,
+        executor: str = "thread",
+        workers: int = 4,
+        relay_telemetry: bool = True,
+    ) -> None:
         factory = _BACKENDS.get(executor)
         if factory is None:
             raise EngineError(f"unknown executor {executor!r}")
         self.executor = executor
         self.workers = workers
-        self._backend: ShardBackend = (
-            factory() if executor == "serial" else factory(workers)
-        )
+        if executor == "serial":
+            self._backend: ShardBackend = factory()
+        elif executor == "process":
+            self._backend = factory(workers, relay_telemetry)
+        else:
+            self._backend = factory(workers)
 
     def run(self, tasks: Sequence[ShardTask]) -> None:
         """Run every task; re-raises the first failure after all finish."""
@@ -932,7 +1122,9 @@ class ShardedDatabase(ChronicleDatabase):
         if self.config.engine != "sharded":
             self.config = self.config.replace(engine="sharded")
         self._maintainer = ParallelMaintainer(
-            executor=self.config.executor, workers=self.config.shards
+            executor=self.config.executor,
+            workers=self.config.shards,
+            relay_telemetry=getattr(self.config, "relay_telemetry", True),
         )
         self._shard_groups: Dict[Tuple[str, Any], ShardGroup] = {}
         self._merged: Dict[str, MergedView] = {}
@@ -1217,6 +1409,12 @@ class ShardedDatabase(ChronicleDatabase):
                     error=repr(exc),
                     watermark=watermark,
                     watermarks=self.watermarks(),
+                    # The failing task's window summary and the worker's
+                    # last relayed spans (when the backend could attach
+                    # them) — a crash should be diagnosable from the
+                    # bundle without reproducing it.
+                    window=getattr(exc, "shard_task_summary", None),
+                    worker_spans=getattr(exc, "worker_spans", None),
                 )
             raise
 

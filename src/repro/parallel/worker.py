@@ -23,15 +23,46 @@ The cross-process contract is byte-minimal in both directions:
   :meth:`~repro.sca.view.PersistentView.absorb_states`.  View state
   never crosses whole.
 
-Workers run without observability installed (spawned processes never
-inherit the parent's runtime); the parent emits linked spans and gauges
-from the timings each window returns.
+**The telemetry relay.**  Spawned workers never inherit the parent's
+observability runtime, so when the parent has observability installed
+(and ``DatabaseConfig.relay_telemetry`` is on) each window additionally
+travels through :func:`worker_apply_relay`: the parent pre-pickles the
+window itself (timing the encode, counting the bytes), and the worker
+
+* installs a process-local capture handle
+  (:class:`~repro.obs.core.Observability`, no operator spans, audit
+  off) for exactly the window's extent, so the ordinary hooks record a
+  ``window_apply`` → ``append`` → per-view ``maintain`` span tree with
+  :class:`~repro.complexity.counters.CostCounters` diffs;
+* compacts the captured spans (:meth:`~repro.obs.tracer.Span
+  .to_record`) and drains its metrics registry as per-window deltas
+  (:meth:`~repro.obs.metrics.MetricsRegistry.to_deltas`), both **capped**
+  (:data:`RELAY_MAX_SPANS` / :data:`RELAY_MAX_SERIES`) with drop
+  counters — telemetry is bounded by catalog size, never by window
+  size, and degrades by dropping, never by blocking;
+* returns them in a :class:`WindowTelemetry` piggybacked on the same
+  result tuple — no second channel — together with its decode/encode
+  wall times and resource readings (max RSS, CPU seconds).
+
+The parent grafts the spans under its ``shard_apply`` span
+(:meth:`~repro.obs.tracer.Tracer.graft` — so worker-side ``maintain``
+spans share the producing ingest's ``trace_id``), merges the metric
+deltas with ``shard``/``worker`` labels, and turns the byte/time
+readings into the ``ipc_*`` accounting series.  With observability off
+the relay never engages: windows go through :func:`worker_apply` and the
+cross-process payload is byte-identical to the minimal contract above.
 """
 
 from __future__ import annotations
 
+import pickle
 import time
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - unix-only module
+    import resource as _resource
+except ImportError:  # pragma: no cover - windows
+    _resource = None  # type: ignore[assignment]
 
 from ..algebra.plan import build_schema, build_summary
 from ..core.chronicle import Chronicle
@@ -40,6 +71,14 @@ from ..core.sequence import SequenceNumber
 from ..relational.tuples import Row
 from ..sca.view import PersistentView
 from ..views.registry import ViewRegistry
+
+#: Most span records relayed per window (the whole compacted tree);
+#: spans beyond the cap are dropped and counted, deepest-first.
+RELAY_MAX_SPANS = 128
+
+#: Most metric series relayed per window (bounded by label cardinality,
+#: which is bounded by catalog size — the cap is a pressure valve).
+RELAY_MAX_SERIES = 256
 
 #: ``(chronicle name, schema_spec)`` pairs.
 ChronicleSpecs = Tuple[Tuple[str, Tuple[Any, ...]], ...]
@@ -75,6 +114,155 @@ class ShardUnitSpec:
             f"ShardUnitSpec({self.label!r}, chronicles={len(self.chronicles)}, "
             f"views={len(self.views)}, watermark={self.watermark})"
         )
+
+
+class WindowTelemetry:
+    """One window's worker-side telemetry, piggybacked on the result.
+
+    A plain attribute bag (pickles by default), deliberately bounded:
+    *spans* holds at most :data:`RELAY_MAX_SPANS` compact records and
+    *metrics* at most :data:`RELAY_MAX_SERIES` delta series; anything
+    beyond is dropped and counted in the ``*_dropped`` fields, which the
+    parent surfaces as ``relay_spans_dropped_total`` /
+    ``relay_series_dropped_total``.
+    """
+
+    def __init__(
+        self,
+        spans: List[Dict[str, Any]],
+        spans_dropped: int,
+        metrics: List[Tuple[str, str, Any, Any]],
+        metrics_dropped: int,
+        maxrss_bytes: int,
+        cpu_seconds: float,
+    ) -> None:
+        self.spans = spans
+        self.spans_dropped = spans_dropped
+        self.metrics = metrics
+        self.metrics_dropped = metrics_dropped
+        self.maxrss_bytes = maxrss_bytes
+        self.cpu_seconds = cpu_seconds
+
+    def __repr__(self) -> str:
+        return (
+            f"WindowTelemetry(spans={len(self.spans)}"
+            f"{f'+{self.spans_dropped} dropped' if self.spans_dropped else ''}, "
+            f"series={len(self.metrics)}, rss={self.maxrss_bytes})"
+        )
+
+
+def _rusage() -> Tuple[int, float]:
+    """(max RSS bytes, CPU seconds) of this worker process, best effort."""
+    if _resource is None:
+        return 0, 0.0
+    usage = _resource.getrusage(_resource.RUSAGE_SELF)
+    # ru_maxrss is kilobytes on Linux, bytes on macOS; normalize to bytes
+    # by assuming the (vastly more common) kilobyte convention except
+    # where the value is already implausibly large for kilobytes.
+    maxrss = int(usage.ru_maxrss)
+    if maxrss and maxrss < 1 << 34:
+        maxrss *= 1024
+    return maxrss, float(usage.ru_utime + usage.ru_stime)
+
+
+def _compact_spans(
+    roots: Sequence[Any], cap: int = RELAY_MAX_SPANS
+) -> Tuple[List[Dict[str, Any]], int]:
+    """Compact finished root spans into bounded relay records.
+
+    The span *count* (whole tree, depth-first) is what the cap bounds;
+    once reached, remaining subtrees are dropped and counted — the
+    shallow structure (window → append → first views) survives pressure,
+    the deep tail goes first.
+    """
+    budget = cap
+    dropped = 0
+
+    def take(span: Any) -> Optional[Dict[str, Any]]:
+        nonlocal budget, dropped
+        if budget <= 0:
+            dropped += sum(1 for _ in span.walk())
+            return None
+        budget -= 1
+        record: Dict[str, Any] = {
+            "name": span.name,
+            "started_at": span.started_at,
+            "duration": span.duration,
+        }
+        if span.attrs:
+            record["attrs"] = dict(span.attrs)
+        if span.counters:
+            record["counters"] = dict(span.counters)
+        children = []
+        for child in span.children:
+            taken = take(child)
+            if taken is not None:
+                children.append(taken)
+        if children:
+            record["children"] = children
+        return record
+
+    out = []
+    for root in roots:
+        record = take(root)
+        if record is not None:
+            out.append(record)
+    return out, dropped
+
+
+class _TelemetryCapture:
+    """The worker process's private observability handle.
+
+    Built lazily on the first relayed window (plain :func:`worker_apply`
+    windows never pay for it): tracing on, operator spans off (the
+    deepest layer would dominate the relay budget for no routing value),
+    auditor off (the parent's auditor already saw this view class; a
+    worker-side raise could not propagate usefully anyway).  The handle
+    is installed into the worker's runtime slot only for a window's
+    extent and reset between windows, so its registry accumulates
+    exactly one window's deltas at a time.
+    """
+
+    def __init__(self) -> None:
+        from ..obs.core import Observability
+
+        self.obs = Observability(trace=True, trace_operators=False, audit="off")
+
+    def run(self, replica: "UnitReplica", window: WindowValues, watermark: SequenceNumber):
+        from ..obs import runtime as obs_runtime
+
+        obs = self.obs
+        obs.metrics.reset()
+        obs.tracer.clear()
+        with obs_runtime.installed(obs):
+            with obs.tracer.span(
+                "window_apply", shard=replica.label, watermark=watermark
+            ):
+                result = replica.apply(window, watermark)
+        spans, spans_dropped = _compact_spans(obs.tracer.traces())
+        deltas = obs.metrics.to_deltas()
+        metrics_dropped = max(0, len(deltas) - RELAY_MAX_SERIES)
+        maxrss, cpu_seconds = _rusage()
+        telemetry = WindowTelemetry(
+            spans,
+            spans_dropped,
+            deltas[:RELAY_MAX_SERIES],
+            metrics_dropped,
+            maxrss,
+            cpu_seconds,
+        )
+        return result + (telemetry,)
+
+
+#: The worker's lazily-built capture handle (None until first relay).
+_CAPTURE: Optional[_TelemetryCapture] = None
+
+
+def _capture() -> _TelemetryCapture:
+    global _CAPTURE
+    if _CAPTURE is None:
+        _CAPTURE = _TelemetryCapture()
+    return _CAPTURE
 
 
 class _RecordingView(PersistentView):
@@ -198,3 +386,24 @@ def worker_apply(
     label: str, window: WindowValues, watermark: SequenceNumber
 ) -> Tuple[Dict[str, List[Tuple[Any, Any]]], int, float, Dict[str, Any]]:
     return _REPLICAS[label].apply(window, watermark)
+
+
+def worker_apply_relay(label: str, blob: bytes) -> Tuple[bytes, float, float]:
+    """Telemetry-relaying variant of :func:`worker_apply`.
+
+    The parent sends the ``(window, watermark)`` pair pre-pickled so the
+    decode here (and the result encode) can be *timed* — that wall time
+    is the worker-side half of the IPC cost the parent accounts under
+    ``ipc_decode_seconds``/``ipc_encode_seconds``.  Returns
+    ``(result blob, decode seconds, encode seconds)`` where the blob
+    pickles the 5-tuple ``(touched state items, records, elapsed,
+    registry stats, WindowTelemetry)``.
+    """
+    t0 = time.perf_counter()
+    window, watermark = pickle.loads(blob)
+    decode_seconds = time.perf_counter() - t0
+    payload = _capture().run(_REPLICAS[label], window, watermark)
+    t0 = time.perf_counter()
+    result = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    encode_seconds = time.perf_counter() - t0
+    return result, decode_seconds, encode_seconds
