@@ -11,10 +11,10 @@ benchmark module provides
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.aggregates import COUNT, SUM, spec
-from repro.algebra.ast import Node, scan
+from repro.algebra.ast import Node
 from repro.complexity.counters import GLOBAL_COUNTERS
 from repro.core.group import ChronicleGroup
 from repro.relational.relation import Relation

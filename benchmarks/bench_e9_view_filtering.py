@@ -16,7 +16,7 @@ import pytest
 from repro.aggregates import SUM, spec
 from repro.algebra.ast import scan
 from repro.complexity.counters import GLOBAL_COUNTERS
-from repro.complexity.fitting import fit_series, is_flat
+from repro.complexity.fitting import fit_series
 from repro.complexity.harness import format_table
 from repro.core.group import ChronicleGroup
 from repro.relational.predicate import attr_eq

@@ -10,7 +10,7 @@ between identical checkouts.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/check_regression.py
+    PYTHONPATH=src python benchmarks/check_regression.py [--ledger]
 
 Exit status 1 when the median compiled speedup fails the 1.5x
 acceptance bar, or drops below ``TOLERANCE`` of the best previously
@@ -18,6 +18,16 @@ recorded speedup *and* the drop exceeds 3 MADs of this run's own trial
 spread (both conditions — a tight-spread run just under the tolerance
 line is a real regression; a wide-spread run is noise until it also
 clears the MAD band).
+
+With ``--ledger`` (opt-in: it runs one extra instrumented pass, so the
+default CI gate stays exactly as cheap as before), a per-operator
+:class:`~repro.obs.costmodel.CostLedger` snapshot of the compiled
+engine is recorded alongside the throughput numbers in
+``BENCH_e12_costs.json``, marked green or failed.  On a gate failure
+the snapshot is diffed against the last green run from a comparable
+machine and the failure message names the slowest-moving operator —
+"the gate failed" becomes "the gate failed and Select inside
+compiled/GroupBySeq got 1.8x slower".
 """
 
 import os
@@ -25,7 +35,13 @@ import sys
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from bench_e12_compiled_plans import MODES, run_measurements  # noqa: E402
+from bench_e12_compiled_plans import (  # noqa: E402
+    MODES,
+    PRELOAD_EVENTS,
+    _batches,
+    _build,
+    run_measurements,
+)
 from _results import (  # noqa: E402
     append_run,
     comparable_runs,
@@ -44,6 +60,58 @@ SPEEDUP_BAR = 1.5  # acceptance: compiled >= 1.5x interpreted
 TOLERANCE = 0.7  # regression: median speedup < 70% of best recorded
 MAD_BAND = 3.0  # ...and more than 3 MADs below it
 
+LEDGER_PATH = os.path.join(os.path.dirname(RESULTS_PATH), "BENCH_e12_costs.json")
+LEDGER_EXPERIMENT = "E12 per-operator cost ledger"
+LEDGER_EVENTS = 30  # instrumented window per snapshot
+LEDGER_KEEP = 20  # snapshots retained in the sidecar file
+LEDGER_MIN_RATIO = 1.05  # name an operator only past 5% movement
+
+
+def collect_ledger(events=LEDGER_EVENTS):
+    """A cost-ledger snapshot from one instrumented compiled-engine pass."""
+    from repro.obs import Observability
+    from repro.obs import runtime as obs_runtime
+
+    group, mileage = _build("compiled")
+    for batch in _batches(PRELOAD_EVENTS):
+        group.append(mileage, batch)
+    obs = Observability(trace=True, trace_operators=True, audit="off")
+    with obs_runtime.installed(obs):
+        for batch in _batches(events, start=PRELOAD_EVENTS):
+            group.append(mileage, batch)
+    return obs.cost_ledger.as_dict()
+
+
+def aggregate_costs(snapshot):
+    """Mean seconds per (operator, shape), summed across the 50 views."""
+    totals = {}
+    for entry in snapshot.get("entries", []):
+        key = (entry["operator"], entry["shape"])
+        seconds, calls = totals.get(key, (0.0, 0))
+        totals[key] = (seconds + entry["seconds"], calls + entry["calls"])
+    return {key: s / c for key, (s, c) in totals.items() if c}
+
+
+def slowest_moving_operator(current, baseline):
+    """The (operator, shape, old_mean, new_mean) that regressed the most.
+
+    Compares mean per-call seconds between two ledger snapshots and
+    returns the operator with the largest slowdown ratio, or ``None``
+    when nothing moved past ``LEDGER_MIN_RATIO``.
+    """
+    cur = aggregate_costs(current)
+    base = aggregate_costs(baseline)
+    worst, worst_ratio = None, LEDGER_MIN_RATIO
+    for key, mean in cur.items():
+        old = base.get(key)
+        if not old or old <= 0.0:
+            continue
+        ratio = mean / old
+        if ratio > worst_ratio:
+            worst_ratio = ratio
+            worst = (key[0], key[1], old, mean)
+    return worst
+
 
 def run_trials(trials=TRIALS):
     """Per-mode appends/sec and speedups across *trials* measurements."""
@@ -55,7 +123,42 @@ def run_trials(trials=TRIALS):
     return rates, speedups
 
 
-def main() -> int:
+def attribute_failure(snapshot):
+    """Diff *snapshot* against the last green ledger; print the verdict."""
+    history = load_history(LEDGER_PATH, LEDGER_EXPERIMENT)
+    greens = [run for run in comparable_runs(history) if run.get("green")]
+    if not greens:
+        print("ledger: no green baseline from a comparable machine to diff against")
+        return
+    baseline = greens[-1]
+    worst = slowest_moving_operator(snapshot, baseline["ledger"])
+    if worst is None:
+        print(
+            "ledger: no operator moved more than "
+            f"{(LEDGER_MIN_RATIO - 1):.0%} vs the green run of "
+            f"{baseline['timestamp']} — the regression is outside the "
+            "maintenance operators (admission, GC, machine load?)"
+        )
+        return
+    operator, shape, old, new = worst
+    print(
+        f"ledger: slowest-moving operator is {operator} [{shape}]: "
+        f"mean {old * 1e6:.1f}us -> {new * 1e6:.1f}us "
+        f"({new / old:.2f}x vs the green run of {baseline['timestamp']})"
+    )
+
+
+def record_ledger(snapshot, green):
+    history = load_history(LEDGER_PATH, LEDGER_EXPERIMENT)
+    append_run(history, {"green": bool(green), "ledger": snapshot})
+    history["runs"] = history["runs"][-LEDGER_KEEP:]
+    save_history(LEDGER_PATH, history)
+    print(f"ledger snapshot appended to {LEDGER_PATH}")
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    with_ledger = "--ledger" in argv
     rates, speedups = run_trials()
     compiled = speedups["compiled"]
     median_speedup = {mode: median(speedups[mode]) for mode in MODES}
@@ -111,6 +214,11 @@ def main() -> int:
             f"and outside the {MAD_BAND:.0f}-MAD noise band ({spread:.3f})"
         )
         failed = True
+    if with_ledger:
+        snapshot = collect_ledger()
+        if failed:
+            attribute_failure(snapshot)
+        record_ledger(snapshot, green=not failed)
     if not failed:
         print("ok: no regression")
     return 1 if failed else 0

@@ -24,7 +24,7 @@ minus/groupby_sn/product/keyjoin`` methods returning new nodes.
 
 from __future__ import annotations
 
-from typing import Any, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Iterator, List, Sequence, Tuple
 
 from ..aggregates.base import AggregateSpec
 from ..core.chronicle import Chronicle

@@ -25,9 +25,7 @@ NOT_CA                 IM-C^k
 from __future__ import annotations
 
 import enum
-from typing import Any, List, Optional
 
-from ..relational.predicate import Predicate
 from .ast import (
     ChronicleProduct,
     Node,

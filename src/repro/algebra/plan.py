@@ -691,6 +691,127 @@ class PlanCompiler:
 
 
 # ---------------------------------------------------------------------------
+# Plan description (EXPLAIN)
+# ---------------------------------------------------------------------------
+
+
+class PlanNode:
+    """One node of a described plan tree (what ``EXPLAIN`` renders).
+
+    Mirrors the *compiled* shape, not the raw expression tree: a fused
+    select/project chain collapses into its chain head exactly as
+    :meth:`PlanCompiler._compile_pipeline` fuses it, so described nodes
+    correspond one-to-one with the ``delta`` spans the compiled plan
+    emits (and with :class:`~repro.obs.costmodel.CostLedger` shapes).
+    """
+
+    __slots__ = ("kind", "detail", "fused", "shared", "refs", "children")
+
+    def __init__(
+        self,
+        kind: str,
+        detail: str = "",
+        fused: Optional[List[str]] = None,
+        shared: bool = False,
+        refs: int = 1,
+        children: Optional[List["PlanNode"]] = None,
+    ) -> None:
+        self.kind = kind
+        self.detail = detail
+        #: Descriptions of chain operators fused *into* this step
+        #: (beyond the head itself); empty for non-pipeline nodes.
+        self.fused = fused or []
+        #: Whether this step is a sharing point (wrapped with the
+        #: per-event delta cache).
+        self.shared = shared
+        self.refs = refs
+        self.children = children or []
+
+    def walk(self) -> Iterable["PlanNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"kind": self.kind}
+        if self.detail:
+            out["detail"] = self.detail
+        if self.fused:
+            out["fused"] = list(self.fused)
+        if self.shared:
+            out["shared"] = True
+            out["refs"] = self.refs
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+
+def _describe_op(node: Node) -> str:
+    """A one-line operator description for EXPLAIN output."""
+    if isinstance(node, ChronicleScan):
+        return f"scan {node.chronicle.name}"
+    if isinstance(node, Select):
+        return f"σ {node.predicate!r}"
+    if isinstance(node, Project):
+        return "π [" + ", ".join(node.names) + "]"
+    if isinstance(node, GroupBySeq):
+        aggs = ", ".join(
+            f"{spec.function.name.upper()}({spec.attribute or '*'}) AS {spec.output}"
+            for spec in node.aggregates
+        )
+        return f"group by ({', '.join(node.grouping)}); {aggs}"
+    if isinstance(node, RelProduct):
+        return f"× relation {node.relation.name}"
+    if isinstance(node, RelKeyJoin):
+        pairs = ", ".join(f"{c}={r}" for c, r in node.pairs)
+        return f"⋈ relation {node.relation.name} on ({pairs})"
+    return ""
+
+
+def describe_plan(root: Node, compiler: Optional[PlanCompiler] = None) -> PlanNode:
+    """Describe the plan the compiler would build for *root*.
+
+    With a *compiler* (the registry's, holding the interner refcounts),
+    the description mirrors compiled structure: select/project chains
+    fuse into their head node, and sharing points carry their reference
+    counts.  Without one — the interpreted engine — every expression
+    node maps to its own described node (which matches the interpreter's
+    one-``delta``-span-per-node behaviour).
+    """
+    kind = type(root).__name__
+    shared = compiler.is_shared(root) if compiler is not None else False
+    refs = compiler._refs.get(id(root), 1) if compiler is not None else 1
+
+    if compiler is not None and isinstance(root, (Select, Project)):
+        # Mirror _compile_pipeline's chain walk exactly.
+        chain: List[Node] = [root]
+        cursor: Node = root
+        while True:
+            child = cursor.children[0]
+            if isinstance(child, (Select, Project)) and not compiler.is_shared(child):
+                chain.append(child)
+                cursor = child
+            else:
+                break
+        return PlanNode(
+            kind,
+            detail=_describe_op(root),
+            fused=[_describe_op(op) for op in chain[1:]],
+            shared=shared,
+            refs=refs,
+            children=[describe_plan(cursor.children[0], compiler)],
+        )
+
+    return PlanNode(
+        kind,
+        detail=_describe_op(root),
+        shared=shared,
+        refs=refs,
+        children=[describe_plan(child, compiler) for child in root.children],
+    )
+
+
+# ---------------------------------------------------------------------------
 # Partition-key inference
 # ---------------------------------------------------------------------------
 #

@@ -17,7 +17,7 @@ engine's flat line.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Mapping, Optional, Tuple
 
 from ..algebra.ast import Node
 from ..algebra.evaluate import evaluate

@@ -15,8 +15,11 @@ commands::
     SHOW VIEW usage;
     SHOW CATALOG;
     SHOW STATS;
+    SHOW COSTS;
     SHOW HEALTH;
     SHOW WORKERS;
+    EXPLAIN usage;
+    EXPLAIN ANALYZE usage;
     TRACE 3;
     CERTIFY usage;
     SERVE METRICS 9464;
@@ -30,8 +33,15 @@ the OK/DEGRADED/FAILING report (with per-shard lag when sharded);
 ``SHOW WORKERS`` renders the shard executor fleet — pool slots and
 their shard assignments, per-shard IPC byte/time accounting, and worker
 RSS/CPU readings when the process executor's telemetry relay has run;
-``TRACE n`` prints the last *n* append traces (span trees with
-wall time and cost-counter diffs).  ``CERTIFY view`` runs the empirical
+``SHOW COSTS [view]`` prints the live per-operator cost ledger
+(:mod:`repro.obs.costmodel`), conformance verdicts stamped when
+``CERTIFY`` has run; ``EXPLAIN view`` renders the compiled maintenance
+plan tree (fusion, sharing, partition, prefilters) and ``EXPLAIN
+ANALYZE view`` additionally drives a short instrumented window of
+synthesized records and annotates every operator with measured
+rows/time/work (note the drive records are appended to the view's
+chronicle); ``TRACE n`` prints the last *n* append traces (span trees
+with wall time and cost-counter diffs).  ``CERTIFY view`` runs the empirical
 conformance sweeps of :mod:`repro.obs.conformance` against the view —
 note this appends synthesized drive records to the view's chronicle —
 and prints the certificate.  ``SERVE METRICS port`` starts the live
@@ -150,6 +160,8 @@ class Session:
             return self._query(words)
         if head == "SHOW":
             return self._show(words)
+        if head == "EXPLAIN":
+            return self._explain(words)
         if head == "TRACE":
             return self._trace(words)
         if head == "CERTIFY":
@@ -262,6 +274,8 @@ class Session:
             return _format_rows(sorted(view.rows(), key=lambda r: r.values))
         if target == "STATS":
             return self._show_stats()
+        if target == "COSTS":
+            return self._show_costs(words)
         if target == "SHARDS":
             return self._show_shards()
         if target == "HEALTH":
@@ -273,6 +287,28 @@ class Session:
     def _show_health(self) -> str:
         obs = self._observability()
         report = obs.health()
+        return "\n".join("  " + line for line in report.format().splitlines())
+
+    def _show_costs(self, words: List[str]) -> str:
+        """The live cost ledger, optionally filtered to one view."""
+        obs = self._observability()
+        if obs.certificates:
+            obs.cost_ledger.link_certificates(obs.certificates)
+        view = words[2] if len(words) > 2 else None
+        text = obs.cost_ledger.format(view)
+        return "\n".join("  " + line for line in text.splitlines())
+
+    def _explain(self, words: List[str]) -> str:
+        """``EXPLAIN [ANALYZE] [VIEW] <name>``: the compiled plan tree."""
+        rest = words[1:]
+        analyze = bool(rest) and rest[0].upper() == "ANALYZE"
+        if analyze:
+            rest = rest[1:]
+        if rest and rest[0].upper() == "VIEW":
+            rest = rest[1:]
+        if len(rest) != 1:
+            raise CliError("EXPLAIN: expected EXPLAIN [ANALYZE] <view>")
+        report = self.db.explain(rest[0], analyze=analyze)
         return "\n".join("  " + line for line in report.format().splitlines())
 
     def _show_shards(self) -> str:

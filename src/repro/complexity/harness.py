@@ -10,7 +10,7 @@ reads as: workload + sweep definition + expectations.
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, NamedTuple, Optional, Sequence
 
 from .counters import GLOBAL_COUNTERS
 from .fitting import FitResult, fit_series

@@ -34,7 +34,7 @@ import warnings
 import weakref
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from ..aggregates.registry import AggregateRegistry, default_registry
+from ..aggregates.registry import default_registry
 from ..errors import ChronicleGroupError, ObservabilityError, ViewRegistrationError
 from ..obs import Observability
 from ..query.compiler import Catalog, Compiler
@@ -200,6 +200,31 @@ class ChronicleDatabase:
         from ..obs.conformance import ConformanceProfiler
 
         return ConformanceProfiler(self, samples=samples).certify_all(**sweep)
+
+    def explain(self, name: str, analyze: bool = False, **window: Any) -> Any:
+        """Describe (and optionally measure) a view's maintenance plan.
+
+        Returns an :class:`~repro.obs.explain.ExplainReport`: the
+        compiled plan tree with fusion/sharing/partition/prefilter
+        annotations.  With *analyze*, a short instrumented window of
+        synthesized records is driven through the normal ingest path
+        (which **appends drive records** to the view's chronicle — use
+        a scratch database when that matters) and every operator is
+        annotated with measured rows, wall time, and cost-counter
+        work.  Extra keyword arguments go to
+        :func:`~repro.obs.explain.explain_analyze` (``events``,
+        ``batch``, ``record_factory``, ``chronicle``).
+        """
+        from ..obs.explain import explain, explain_analyze
+
+        if analyze:
+            return explain_analyze(self, name, **window)
+        if window:
+            raise TypeError(
+                "explain() window arguments require analyze=True: "
+                + ", ".join(sorted(window))
+            )
+        return explain(self, name)
 
     def serve_metrics(self, port: int = 0, host: str = "127.0.0.1") -> Any:
         """Start the live HTTP exporter for this database's observability.

@@ -14,7 +14,7 @@ bound).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import Iterable, Iterator, List, Tuple
 
 from ..errors import SequenceOrderError
 from ..relational.schema import Schema

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from ..errors import ChronicleGroupError, SchemaError
+from ..errors import ChronicleGroupError
 from ..obs import runtime as obs_runtime
 from ..relational.schema import Attribute, Schema
 from ..relational.tuples import Row

@@ -20,7 +20,7 @@ Three mappers cover the practical cases:
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import List, Optional, Tuple
+from typing import List
 
 from ..errors import SequenceOrderError
 

@@ -30,6 +30,7 @@ Quickstart::
 
 from .auditor import AuditViolation, AuditWarning, Auditor
 from .core import Observability
+from .costmodel import CostEntry, CostLedger, span_probes, span_work
 from .exporters import (
     AttributionNode,
     JsonlSpanSink,
@@ -67,7 +68,6 @@ _CONFORMANCE_EXPORTS = (
     "schema_record_factory",
 )
 
-
 def __getattr__(name: str):
     if name in _CONFORMANCE_EXPORTS:
         from . import conformance
@@ -83,6 +83,8 @@ __all__ = [
     "Auditor",
     "ConformanceCertificate",
     "ConformanceProfiler",
+    "CostEntry",
+    "CostLedger",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
     "FlightRecorder",
@@ -106,5 +108,7 @@ __all__ = [
     "format_attribution",
     "get_observability",
     "schema_record_factory",
+    "span_probes",
+    "span_work",
     "summarize_span",
 ]

@@ -27,7 +27,9 @@ and ``index_lookup``: the paper's complexity classes are stated modulo
 the O(log |V|) locate step, and probes legitimately grow with the
 swept-up view state.  Probes are fitted separately where the class
 bounds them (IM-Constant forbids growth; IM-log(R) allows log growth in
-|R|).
+|R|).  The measures themselves (``span_work`` / ``span_probes``) live in
+:mod:`repro.obs.costmodel` — shared with the live cost ledger — and are
+re-exported here.
 
 Certificates are JSON-ready (:meth:`ConformanceCertificate.to_dict`)
 and are published on the installed observability handle's
@@ -49,7 +51,18 @@ from ..errors import ConformanceError
 from ..relational.schema import Schema
 from . import runtime
 from .core import Observability
+from .costmodel import span_probes, span_work
 from .tracer import Span
+
+__all__ = [
+    "ConformanceCertificate",
+    "ConformanceProfiler",
+    "SweepVerdict",
+    "certify_expression",
+    "schema_record_factory",
+    "span_probes",
+    "span_work",
+]
 
 RecordFactory = Callable[[int], Dict[str, Any]]
 
@@ -57,10 +70,6 @@ RecordFactory = Callable[[int], Dict[str, Any]]
 DEFAULT_C_SIZES: Tuple[int, ...] = (256, 1_024, 4_096)
 DEFAULT_R_SIZES: Tuple[int, ...] = (256, 1_024, 4_096)
 DEFAULT_U_SIZES: Tuple[int, ...] = (1, 4, 16)
-
-#: Counter events excluded from the "work" measure (the permitted
-#: locate-step overhead the classes are stated modulo).
-_LOCATE_EVENTS = frozenset(("index_probe", "index_lookup"))
 
 #: Acceptable fitted models per sweep, keyed by (parameter, metric,
 #: claimed class).  ``None`` means the class places no bound (the sweep
@@ -79,16 +88,6 @@ _R_PROBE_EXPECTED = {
 }
 #: Per-event cost may grow at most linearly in the batch size u.
 _U_EXPECTED = ("constant", "log", "linear")
-
-
-def span_work(counters: Dict[str, int]) -> int:
-    """The Theorem-4.2 work measure of one span's counter diff."""
-    return sum(v for k, v in counters.items() if k not in _LOCATE_EVENTS)
-
-
-def span_probes(counters: Dict[str, int]) -> int:
-    """The locate-step overhead (probes + lookups) of one span."""
-    return sum(v for k, v in counters.items() if k in _LOCATE_EVENTS)
 
 
 def schema_record_factory(

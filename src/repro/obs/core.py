@@ -62,6 +62,7 @@ from typing import Any, Callable, Dict, List, Optional
 from ..errors import MaintenanceAuditError, ObservabilityError
 from . import runtime
 from .auditor import Auditor
+from .costmodel import CostLedger
 from .health import HealthReport, SloPolicy, evaluate_health
 from .metrics import MetricsRegistry
 from .recorder import FlightRecorder, summarize_span
@@ -96,6 +97,13 @@ class Observability:
         ``None`` (the default) keeps the in-memory ring but never
         touches disk automatically; explicit
         :meth:`incident`/``dump_incident(path=...)`` calls still work.
+    costs:
+        Feed the :class:`~repro.obs.costmodel.CostLedger` from finished
+        maintenance spans (requires *trace*; the ledger object exists
+        either way so readers never need a None check).
+    cost_entries:
+        The ledger's cardinality bound (distinct (view, operator,
+        shape) keys).
     """
 
     def __init__(
@@ -107,6 +115,8 @@ class Observability:
         ring: int = 256,
         slo: Optional[SloPolicy] = None,
         incident_dir: Optional[str] = None,
+        costs: bool = True,
+        cost_entries: int = 512,
     ) -> None:
         self.metrics = MetricsRegistry()
         self.auditor = Auditor(
@@ -119,6 +129,11 @@ class Observability:
         #: published by :class:`~repro.obs.conformance.ConformanceProfiler`
         #: and served on the ``/certificates`` HTTP route.
         self.certificates: Dict[str, Dict[str, Any]] = {}
+        #: The live per-(view, operator, shape) cost aggregates, fed by
+        #: every finished ``maintain`` span when *costs* is on.  Served
+        #: by ``SHOW COSTS`` and the ``/costs`` HTTP route.
+        self.cost_ledger = CostLedger(max_entries=cost_entries)
+        self.record_costs = self.trace and bool(costs)
         #: The SLO policy health evaluation uses (None = defaults).
         self.slo = slo
         #: The black-box ring + incident dumper.
@@ -201,6 +216,10 @@ class Observability:
             metrics.observe(
                 "view_maintain_seconds", span.duration, view=view, engine=engine
             )
+            if self.record_costs:
+                # Before the auditor: a raise-mode violation still
+                # leaves its cost recorded in the ledger.
+                self.cost_ledger.observe_maintain(span)
             try:
                 violations = self.auditor.check_span(span)
             except MaintenanceAuditError as exc:
@@ -333,6 +352,19 @@ class Observability:
 
     # -- snapshots ---------------------------------------------------------------------
 
+    def cost_snapshot(self) -> Dict[str, Any]:
+        """The cost ledger as a JSON-ready dict, certificates stamped.
+
+        Conformance verdicts published since the last snapshot are
+        linked onto matching entries first, so every exported row
+        carries its claimed-vs-fitted class when one is known.  This is
+        what the ``/costs`` HTTP route serves and what
+        :meth:`~repro.obs.costmodel.CostLedger.from_dict` restores.
+        """
+        if self.certificates:
+            self.cost_ledger.link_certificates(self.certificates)
+        return self.cost_ledger.as_dict()
+
     def snapshot(self) -> Dict[str, Any]:
         """A one-call dict of everything: metrics, audit, trace status."""
         return {
@@ -348,6 +380,11 @@ class Observability:
                 for name, cert in sorted(self.certificates.items())
             },
             "health": self._last_health_status,
+            "costs": {
+                "entries": len(self.cost_ledger),
+                "dropped": self.cost_ledger.dropped,
+                "recording": self.record_costs,
+            },
             "recorder": {
                 "events": len(self.recorder.events()),
                 "triggered": self.recorder.triggered,

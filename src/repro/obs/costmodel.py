@@ -1,0 +1,461 @@
+"""A persistent per-operator cost model fed by live ``maintain`` spans.
+
+The conformance profiler (:mod:`repro.obs.conformance`) answers "does
+this view's cost *scale* the way the paper claims?" with controlled
+offline sweeps.  The :class:`CostLedger` answers the complementary
+question — "what does each operator of each view *actually cost* under
+the live workload?" — by continuously folding every finished
+``maintain`` span (and its per-operator ``delta`` children) into
+bounded per-``(view, operator, shape)`` aggregates:
+
+* totals — calls, rows, wall seconds, the Theorem-4.2 **work** measure
+  (:func:`span_work`) and the locate-step **probes** (:func:`span_probes`);
+* an exponentially-weighted moving average of per-call wall time
+  (recency-sensitive, so a regression shows up before the lifetime mean
+  moves);
+* a fixed-bucket latency :class:`~repro.obs.metrics.Histogram` for
+  p50/p99.
+
+The **shape** of an entry is the path of operator kinds from the
+maintain span down to the operator, prefixed with the engine — e.g.
+``compiled/GroupBySeq/Select`` — with ``Kind@i`` positional
+disambiguation among same-kind siblings.  The maintain-level rollup
+entry uses operator ``maintain`` and the bare engine as its shape.
+Shapes mirror the compiled plan structure (fused select/project chains
+collapse into their chain-head span), so ledger rows line up one-to-one
+with ``EXPLAIN`` output (:mod:`repro.obs.explain`).
+
+Ledgers persist: :meth:`CostLedger.as_dict` / :meth:`from_dict` (and
+the JSON wrappers) round-trip **exactly** — every stored float survives
+:mod:`json` unchanged, and derived statistics (mean, p50, p99) are
+recomputed deterministically from the stored totals.  Certificates from
+the conformance profiler are stamped onto matching entries with
+:meth:`CostLedger.link_certificates`, so each row can carry its
+claimed IM class next to the empirically fitted curve classes.
+
+Zero-overhead contract: the ledger is only ever fed from
+:meth:`Observability.on_span_end <repro.obs.core.Observability
+.on_span_end>` — with no observability installed no spans finish, so no
+ledger code runs.
+
+This module is imported by :mod:`repro.obs.core` and therefore must not
+import :mod:`repro.obs.conformance` (which imports ``core``); the work/
+probe cost measures live *here* and conformance re-exports them.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .metrics import DEFAULT_LATENCY_BUCKETS, Histogram
+from .tracer import Span
+
+#: Counter events excluded from the "work" measure (the permitted
+#: O(log |V|) locate-step overhead the IM classes are stated modulo).
+_LOCATE_EVENTS = frozenset(("index_probe", "index_lookup"))
+
+#: Default EWMA smoothing factor: each call contributes 10%, so the
+#: average reflects roughly the last ~20 calls.
+EWMA_ALPHA = 0.1
+
+
+def span_work(counters: Mapping[str, int]) -> int:
+    """The Theorem-4.2 work measure of one span's counter diff."""
+    return sum(v for k, v in counters.items() if k not in _LOCATE_EVENTS)
+
+
+def span_probes(counters: Mapping[str, int]) -> int:
+    """The locate-step overhead (probes + lookups) of one span."""
+    return sum(v for k, v in counters.items() if k in _LOCATE_EVENTS)
+
+
+class CostEntry:
+    """Aggregate cost statistics for one (view, operator, shape) key."""
+
+    __slots__ = (
+        "view",
+        "operator",
+        "shape",
+        "calls",
+        "rows",
+        "work",
+        "probes",
+        "seconds",
+        "ewma_seconds",
+        "counters",
+        "histogram",
+        "claimed_class",
+        "conformant",
+        "fitted",
+    )
+
+    def __init__(self, view: str, operator: str, shape: str) -> None:
+        self.view = view
+        self.operator = operator
+        self.shape = shape
+        self.calls = 0
+        self.rows = 0
+        self.work = 0
+        self.probes = 0
+        self.seconds = 0.0
+        self.ewma_seconds = 0.0
+        self.counters: Dict[str, int] = {}
+        self.histogram = Histogram(DEFAULT_LATENCY_BUCKETS)
+        #: Conformance linkage (stamped by :meth:`CostLedger
+        #: .link_certificates`): the claimed IM class, the certificate
+        #: verdict, and the fitted curve model per sweep.
+        self.claimed_class: Optional[str] = None
+        self.conformant: Optional[bool] = None
+        self.fitted: Dict[str, str] = {}
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.view, self.operator, self.shape)
+
+    def observe(
+        self, seconds: float, rows: int, counters: Mapping[str, int], alpha: float
+    ) -> None:
+        self.calls += 1
+        self.rows += int(rows)
+        self.work += span_work(counters)
+        self.probes += span_probes(counters)
+        self.seconds += seconds
+        if self.calls == 1:
+            self.ewma_seconds = seconds
+        else:
+            self.ewma_seconds += alpha * (seconds - self.ewma_seconds)
+        self.histogram.observe(seconds)
+        for event, amount in counters.items():
+            self.counters[event] = self.counters.get(event, 0) + amount
+
+    # Derived statistics — deterministic functions of the stored totals,
+    # so a deserialized entry reproduces them exactly.
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.seconds / self.calls if self.calls else 0.0
+
+    @property
+    def p50_seconds(self) -> float:
+        return self.histogram.quantile(0.5)
+
+    @property
+    def p99_seconds(self) -> float:
+        return self.histogram.quantile(0.99)
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "view": self.view,
+            "operator": self.operator,
+            "shape": self.shape,
+            "calls": self.calls,
+            "rows": self.rows,
+            "work": self.work,
+            "probes": self.probes,
+            "seconds": self.seconds,
+            "ewma_seconds": self.ewma_seconds,
+            "counters": dict(sorted(self.counters.items())),
+            "buckets": list(self.histogram.bucket_counts),
+            # Derived, recomputed on load — exported for human readers
+            # and dashboards, not state.
+            "mean_seconds": self.mean_seconds,
+            "p50_seconds": self.p50_seconds,
+            "p99_seconds": self.p99_seconds,
+        }
+        if self.claimed_class is not None:
+            out["claimed_class"] = self.claimed_class
+        if self.conformant is not None:
+            out["conformant"] = self.conformant
+        if self.fitted:
+            out["fitted"] = dict(sorted(self.fitted.items()))
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CostEntry":
+        entry = cls(str(data["view"]), str(data["operator"]), str(data["shape"]))
+        entry.calls = int(data["calls"])
+        entry.rows = int(data["rows"])
+        entry.work = int(data["work"])
+        entry.probes = int(data["probes"])
+        entry.seconds = float(data["seconds"])
+        entry.ewma_seconds = float(data["ewma_seconds"])
+        entry.counters = {str(k): int(v) for k, v in data.get("counters", {}).items()}
+        buckets = [int(n) for n in data["buckets"]]
+        if len(buckets) != len(entry.histogram.bucket_counts):
+            raise ValueError(
+                "cost entry bucket count mismatch: "
+                f"{len(buckets)} != {len(entry.histogram.bucket_counts)}"
+            )
+        entry.histogram.bucket_counts = buckets
+        entry.histogram.count = sum(buckets)
+        entry.histogram.sum = entry.seconds
+        entry.claimed_class = data.get("claimed_class")
+        conformant = data.get("conformant")
+        entry.conformant = None if conformant is None else bool(conformant)
+        entry.fitted = {str(k): str(v) for k, v in data.get("fitted", {}).items()}
+        return entry
+
+
+class CostLedger:
+    """Bounded, thread-safe per-(view, operator, shape) cost aggregates.
+
+    Feed it finished ``maintain`` spans (:meth:`observe_maintain`) or
+    raw measurements (:meth:`observe`); read it via :meth:`entries`,
+    :meth:`as_dict`, :meth:`to_json`, or the rendered :meth:`format`
+    table (what ``SHOW COSTS`` prints).
+
+    Cardinality is bounded: once *max_entries* distinct keys exist, new
+    keys are counted in :attr:`dropped` instead of allocated — a
+    runaway label space degrades the ledger, never the process.
+    """
+
+    SCHEMA = 1
+
+    def __init__(self, max_entries: int = 512, ewma_alpha: float = EWMA_ALPHA) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        self.max_entries = max_entries
+        self.ewma_alpha = ewma_alpha
+        self.dropped = 0
+        self._entries: Dict[Tuple[str, str, str], CostEntry] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return True
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+
+    def observe(
+        self,
+        view: str,
+        operator: str,
+        shape: str,
+        seconds: float,
+        rows: int = 0,
+        counters: Optional[Mapping[str, int]] = None,
+    ) -> None:
+        """Fold one measurement into the (view, operator, shape) entry."""
+        key = (view, operator, shape)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                if len(self._entries) >= self.max_entries:
+                    self.dropped += 1
+                    return
+                entry = self._entries[key] = CostEntry(view, operator, shape)
+            entry.observe(seconds, rows, counters or {}, self.ewma_alpha)
+
+    def observe_maintain(self, span: Span) -> None:
+        """Fold one finished ``maintain`` span and its delta subtree.
+
+        The maintain span itself becomes the per-view rollup entry
+        (operator ``maintain``, shape = engine); each ``delta``
+        descendant becomes a per-operator entry keyed by its
+        engine-prefixed operator-kind path.
+        """
+        view = str(span.attrs.get("view", "?"))
+        engine = str(span.attrs.get("engine", "?"))
+        self.observe(
+            view,
+            "maintain",
+            engine,
+            span.duration,
+            rows=int(span.attrs.get("rows", 0) or 0),
+            counters=span.counters,
+        )
+        self._observe_deltas(view, engine, span.children)
+
+    def _observe_deltas(
+        self, view: str, prefix: str, children: Sequence[Span]
+    ) -> None:
+        deltas = [c for c in children if c.name == "delta"]
+        totals: Dict[str, int] = {}
+        for child in deltas:
+            op = str(child.attrs.get("operator", "?"))
+            totals[op] = totals.get(op, 0) + 1
+        seen: Dict[str, int] = {}
+        for child in deltas:
+            op = str(child.attrs.get("operator", "?"))
+            index = seen.get(op, 0)
+            seen[op] = index + 1
+            component = op if totals[op] == 1 else f"{op}@{index}"
+            shape = f"{prefix}/{component}"
+            self.observe(
+                view,
+                op,
+                shape,
+                child.duration,
+                rows=int(child.attrs.get("rows", 0) or 0),
+                counters=child.counters,
+            )
+            self._observe_deltas(view, shape, child.children)
+
+    # ------------------------------------------------------------------
+    # Conformance linkage
+    # ------------------------------------------------------------------
+
+    def link_certificates(self, certificates: Mapping[str, Mapping[str, Any]]) -> int:
+        """Stamp conformance verdicts onto every entry of certified views.
+
+        *certificates* is the :attr:`Observability.certificates
+        <repro.obs.core.Observability.certificates>` dict (view name →
+        :meth:`ConformanceCertificate.to_dict` payload).  Each matching
+        ledger entry gains the claimed IM class, the certificate's
+        pass/fail verdict, and the fitted curve model per sweep — the
+        claimed-vs-fitted pairing the cost-based optimizer consumes.
+        Returns the number of entries stamped.
+        """
+        stamped = 0
+        with self._lock:
+            for entry in self._entries.values():
+                cert = certificates.get(entry.view)
+                if not cert:
+                    continue
+                entry.claimed_class = cert.get("claimed_class")
+                conformant = cert.get("conformant")
+                entry.conformant = None if conformant is None else bool(conformant)
+                entry.fitted = {
+                    f"{sweep['parameter']} {sweep['metric']}": str(sweep["model"])
+                    for sweep in cert.get("sweeps", ())
+                }
+                stamped += 1
+        return stamped
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def entries(self) -> List[CostEntry]:
+        """All entries, sorted by (view, shape, operator)."""
+        with self._lock:
+            items = list(self._entries.values())
+        return sorted(items, key=lambda e: (e.view, e.shape, e.operator))
+
+    def get(self, view: str, operator: str, shape: str) -> Optional[CostEntry]:
+        with self._lock:
+            return self._entries.get((view, operator, shape))
+
+    def views(self) -> List[str]:
+        with self._lock:
+            return sorted({view for view, _, _ in self._entries})
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": self.SCHEMA,
+            "max_entries": self.max_entries,
+            "ewma_alpha": self.ewma_alpha,
+            "dropped": self.dropped,
+            "entries": [entry.as_dict() for entry in self.entries()],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CostLedger":
+        schema = data.get("schema", 0)
+        if schema != cls.SCHEMA:
+            raise ValueError(f"unsupported cost ledger schema: {schema!r}")
+        ledger = cls(
+            max_entries=int(data.get("max_entries", 512)),
+            ewma_alpha=float(data.get("ewma_alpha", EWMA_ALPHA)),
+        )
+        ledger.dropped = int(data.get("dropped", 0))
+        for raw in data.get("entries", ()):
+            entry = CostEntry.from_dict(raw)
+            ledger._entries[entry.key] = entry
+        return ledger
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CostLedger":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "CostLedger":
+        with open(path) as handle:
+            return cls.from_json(handle.read())
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def format(self, view: Optional[str] = None) -> str:
+        """The ``SHOW COSTS`` table: one row per ledger entry."""
+        entries = self.entries()
+        if view is not None:
+            entries = [e for e in entries if e.view == view]
+        if not entries:
+            return (
+                "(cost ledger empty — ingest some events with observability "
+                "installed to populate it)"
+            )
+        header = (
+            "view",
+            "operator",
+            "shape",
+            "calls",
+            "rows",
+            "mean",
+            "p50",
+            "p99",
+            "ewma",
+            "work/call",
+            "class",
+        )
+        rows: List[Tuple[str, ...]] = [header]
+        for e in entries:
+            klass = ""
+            if e.claimed_class is not None:
+                verdict = {True: " ok", False: " FAIL", None: ""}[e.conformant]
+                klass = f"{e.claimed_class}{verdict}"
+            rows.append(
+                (
+                    e.view,
+                    e.operator,
+                    e.shape,
+                    str(e.calls),
+                    str(e.rows),
+                    _us(e.mean_seconds),
+                    _us(e.p50_seconds),
+                    _us(e.p99_seconds),
+                    _us(e.ewma_seconds),
+                    f"{e.work / e.calls:.1f}" if e.calls else "0",
+                    klass,
+                )
+            )
+        widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+        lines = [
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+            for row in rows
+        ]
+        if self.dropped:
+            lines.append(f"({self.dropped} observations dropped: entry cap reached)")
+        return "\n".join(lines)
+
+
+def _us(seconds: float) -> str:
+    if seconds == float("inf"):
+        return "inf"
+    return f"{seconds * 1e6:.1f}us"

@@ -10,6 +10,10 @@ stdlib-only:
     :meth:`~repro.obs.metrics.MetricsRegistry.to_prometheus`;
   - ``/certificates`` — the conformance certificates
     (:mod:`repro.obs.conformance`) as JSON;
+  - ``/costs`` — the live :class:`~repro.obs.costmodel.CostLedger`
+    (certificates stamped) as JSON, loadable with
+    :meth:`CostLedger.from_dict <repro.obs.costmodel.CostLedger
+    .from_dict>`;
   - ``/snapshot`` — the full :meth:`~repro.obs.core.Observability
     .snapshot` as JSON;
   - ``/health`` — the :class:`~repro.obs.health.HealthReport` as JSON
@@ -39,7 +43,7 @@ import json
 import os
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..errors import ObservabilityError
 from .tracer import Span
@@ -80,6 +84,11 @@ class _MetricsHandler(BaseHTTPRequestHandler):
             self._reply(200, "application/json", body)
         elif path == "/snapshot":
             body = json.dumps(obs.snapshot(), sort_keys=True, indent=2).encode("utf-8")
+            self._reply(200, "application/json", body)
+        elif path == "/costs":
+            body = json.dumps(
+                obs.cost_snapshot(), sort_keys=True, indent=2
+            ).encode("utf-8")
             self._reply(200, "application/json", body)
         elif path == "/health":
             try:

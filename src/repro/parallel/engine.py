@@ -37,7 +37,7 @@ import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from threading import RLock
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union as TUnion
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union as TUnion
 
 from ..algebra.ast import (
     ChronicleScan,

@@ -6,7 +6,7 @@ classification happen in :mod:`repro.query.compiler`.
 
 from __future__ import annotations
 
-from typing import Any, List, NamedTuple, Optional, Tuple
+from typing import Any, NamedTuple, Optional, Tuple
 
 
 class ColumnRef(NamedTuple):

@@ -14,7 +14,7 @@ Tokens carry line/column positions so parse errors point at the source.
 
 from __future__ import annotations
 
-from typing import Iterator, List, NamedTuple, Optional
+from typing import List, NamedTuple
 
 from ..errors import LexError
 

@@ -17,7 +17,7 @@ the cost model sees the work.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple
 
 from ..aggregates.base import AggregateSpec
 from ..complexity.counters import GLOBAL_COUNTERS
@@ -25,7 +25,6 @@ from ..errors import SchemaError
 from .predicate import Predicate
 from .schema import Attribute, Schema
 from .tuples import Row
-from .types import FLOAT
 
 
 class Table:

@@ -13,7 +13,7 @@ Keys may be any mutually-comparable Python values (ints, strings, tuples).
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right, insort
+from bisect import bisect_left, bisect_right
 from typing import Any, Iterator, List, Optional, Tuple
 
 from ..complexity.counters import GLOBAL_COUNTERS, CostCounters

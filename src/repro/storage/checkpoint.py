@@ -21,7 +21,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-from typing import Any, Dict, IO, List, Union
+from typing import Any, Dict, IO, Union
 
 from ..errors import ChronicleError
 from ..relational.tuples import Row

@@ -20,7 +20,7 @@ computing a persistent view for total_expenses":
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, Sequence, Tuple
 
 from ..errors import ChronicleError
 

@@ -25,7 +25,7 @@ stock symbol, per account, ...).
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Dict, Hashable, Iterator, Optional, Tuple
+from typing import Any, Deque, Dict, Hashable, Iterator, Optional, Tuple
 
 from ..aggregates.base import IncrementalAggregate
 from ..complexity.counters import GLOBAL_COUNTERS

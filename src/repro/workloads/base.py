@@ -14,7 +14,7 @@ stamped by the chronicle group at append time).
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 SchemaSpec = List[Tuple[str, str]]
 

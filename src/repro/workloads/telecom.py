@@ -8,7 +8,7 @@ and durations integer seconds so incremental/batch comparisons are exact.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List
 
 from .base import SchemaSpec, Workload, ZipfChooser
 

@@ -291,3 +291,47 @@ class TestConformanceStatements:
         out = session.execute("SHOW STATS")
         assert "== views ==" in out
         assert "usage: 1 maintain spans, last append" in out
+
+
+class TestShardStatements:
+    """SHOW WORKERS / SHOW SHARDS must degrade gracefully, never traceback."""
+
+    def _sharded(self):
+        from repro.core.config import DatabaseConfig
+
+        s = Session(config=DatabaseConfig(engine="sharded", shards=2))
+        s.execute("CREATE CHRONICLE calls (caller INT, minutes INT)")
+        s.execute(
+            "DEFINE VIEW usage AS SELECT caller, SUM(minutes) AS total "
+            "FROM calls GROUP BY caller"
+        )
+        return s
+
+    def test_show_shards_on_serial_engine(self, session):
+        out = session.execute("SHOW SHARDS")
+        assert "engine=serial" in out
+        assert "engine='sharded'" in out  # points at the fix
+
+    def test_show_workers_on_serial_engine(self, session):
+        out = session.execute("SHOW WORKERS")
+        assert "engine=serial" in out
+        assert "engine='sharded'" in out
+
+    def test_show_shards_before_first_ingest(self):
+        s = self._sharded()
+        out = s.execute("SHOW SHARDS")
+        assert "engine=sharded shards=2" in out
+        assert "watermark=-1" in out  # shards exist, nothing routed yet
+
+    def test_show_workers_before_first_ingest(self):
+        s = self._sharded()
+        out = s.execute("SHOW WORKERS")
+        assert "executor=thread workers=2" in out
+
+    def test_show_shards_before_any_views(self):
+        from repro.core.config import DatabaseConfig
+
+        s = Session(config=DatabaseConfig(engine="sharded", shards=2))
+        s.execute("CREATE CHRONICLE calls (caller INT, minutes INT)")
+        out = s.execute("SHOW SHARDS")
+        assert "engine=sharded" in out
