@@ -1,0 +1,335 @@
+"""E17 — durability: WAL overhead and bounded crash recovery.
+
+Implementation experiment (no paper claim): the durability subsystem
+must not tax the chronicle model's per-append maintenance guarantee.
+Two legs, both on the E14 consumer-banking catalog (41 views over one
+chronicle, the ATM regime of small transaction batches):
+
+* **overhead** — the identical record stream through ``ingest`` with
+  durability ``off`` vs ``wal`` (``fsync="batch"``: one durable SQLite
+  commit per admitted batch).  The metric is the throughput ratio
+  wal/off; the acceptance bar is >= 0.85 (<= 15% overhead), gated the
+  noise-aware way of E14: median of TRIALS with an MAD band against the
+  best recorded ratio.
+* **recovery** — ``wal+snapshot`` with a small snapshot interval; the
+  stream is cut mid-flight with the crash hook (no clean close, no
+  final snapshot).  Recovery via ``ChronicleDatabase.open`` must (a)
+  replay only the log tail — the replayed-batch count is checked
+  against the snapshot interval — and (b) reproduce **exactly** the
+  view state of an uninterrupted run of the same stream.
+
+``gate()`` persists both to ``BENCH_e17.json`` (schema v2, see
+``_results.py``) and exits non-zero on a missed bar, a recovery
+mismatch, or an unbounded replay.
+"""
+
+import gc
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from _results import (  # noqa: E402
+    append_run,
+    comparable_runs,
+    load_history,
+    save_history,
+)
+
+from bench_e14_sharded import _BANDS, _KINDS, _windows  # noqa: E402
+
+from repro import BankingWorkload, ChronicleDatabase, DatabaseConfig  # noqa: E402
+from repro.core.config import DurabilityConfig  # noqa: E402
+from repro.aggregates import COUNT, SUM, spec  # noqa: E402
+from repro.algebra.ast import scan  # noqa: E402
+from repro.complexity.counters import GLOBAL_COUNTERS  # noqa: E402
+from repro.complexity.fitting import mad, median  # noqa: E402
+from repro.complexity.harness import format_table  # noqa: E402
+from repro.relational.predicate import attr_cmp, attr_eq  # noqa: E402
+from repro.sca.summarize import GroupBySummary  # noqa: E402
+
+BATCH = 6
+WINDOW = 96
+PRELOAD_WINDOWS = 1
+MEASURED_WINDOWS = 4
+REPS = 2  # best-of repetitions inside one measurement
+TRIALS = 3  # measurement repetitions; the median gates
+
+FSYNC = "batch"
+OVERHEAD_BAR = 0.85  # wal/off throughput ratio (<= 15% overhead)
+TOLERANCE = 0.7
+MAD_BAND = 3.0
+
+SNAPSHOT_INTERVAL = 64  # recovery leg: replay is bounded by this
+RECOVERY_BATCHES = 2 * SNAPSHOT_INTERVAL + 17  # leaves a 17-batch tail
+
+RESULTS_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_e17.json"
+)
+EXPERIMENT = "E17 durability overhead and recovery"
+
+
+def _build(durability=None):
+    """The E14 banking catalog on the serial engine, optionally durable."""
+    if durability is None:
+        db = ChronicleDatabase()
+    else:
+        db = ChronicleDatabase.open(
+            durability.dir, config=DatabaseConfig(durability=durability)
+        )
+    db.create_chronicle(
+        "transactions", BankingWorkload.CHRONICLE_SCHEMA, retention=0
+    )
+    txn = db.chronicle("transactions")
+    db.define_view(
+        GroupBySummary(scan(txn), ["acct"], [spec(SUM, "cents"), spec(COUNT)]),
+        name="balance",
+    )
+    for kind in _KINDS:
+        for i, band in enumerate(_BANDS):
+            node = (
+                scan(txn)
+                .select(attr_eq("kind", kind))
+                .select(attr_cmp("cents", "<" if band <= 0 else ">", band))
+            )
+            db.define_view(
+                GroupBySummary(node, ["acct"], [spec(SUM, "cents"), spec(COUNT)]),
+                name=f"v_{kind}_{i}",
+            )
+    return db
+
+
+def _view_names():
+    return ["balance"] + [
+        f"v_{kind}_{i}" for kind in _KINDS for i in range(len(_BANDS))
+    ]
+
+
+def _state(db):
+    return {
+        name: sorted(tuple(r.values) for r in db.view(name).rows())
+        for name in _view_names()
+    }
+
+
+def _throughput(mode):
+    """Records/second through ``ingest`` for one durability mode."""
+    directory = None
+    if mode == "off":
+        db = _build()
+    else:
+        directory = tempfile.mkdtemp(prefix="repro-e17-")
+        db = _build(
+            DurabilityConfig(mode=mode, dir=directory, fsync=FSYNC)
+        )
+    try:
+        with GLOBAL_COUNTERS.disabled():
+            for window in _windows(PRELOAD_WINDOWS):
+                db.ingest("transactions", window)
+            measured = _windows(MEASURED_WINDOWS, start=PRELOAD_WINDOWS)
+            gc.collect()
+            gc_was_enabled = gc.isenabled()
+            gc.disable()
+            try:
+                start = time.perf_counter()
+                for window in measured:
+                    db.ingest("transactions", window)
+                elapsed = time.perf_counter() - start
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
+    finally:
+        db.close()
+        if directory is not None:
+            shutil.rmtree(directory, ignore_errors=True)
+    return MEASURED_WINDOWS * WINDOW * BATCH / elapsed
+
+
+def run_measurements(modes=("off", "wal")):
+    """Records/sec per durability mode: best of REPS, interleaved so
+    transient machine noise lands on every configuration alike."""
+    best = {mode: 0.0 for mode in modes}
+    for _ in range(REPS):
+        for mode in modes:
+            best[mode] = max(best[mode], _throughput(mode))
+    return best
+
+
+def run_recovery():
+    """The recovery leg: crash mid-stream, reopen, compare states.
+
+    Returns ``(replayed_batches, recovery_seconds, exact, bounded)``.
+    """
+    workload = BankingWorkload(seed=13)
+    batches = [
+        list(workload.records(BATCH)) for _ in range(RECOVERY_BATCHES)
+    ]
+
+    reference = _build()
+    try:
+        for batch in batches:
+            reference.append("transactions", batch)
+        expected = _state(reference)
+    finally:
+        reference.close()
+
+    directory = tempfile.mkdtemp(prefix="repro-e17-rec-")
+    try:
+        config = DurabilityConfig(
+            mode="wal+snapshot",
+            dir=directory,
+            fsync=FSYNC,
+            snapshot_interval_batches=SNAPSHOT_INTERVAL,
+        )
+        db = _build(config)
+        for batch in batches:
+            db.append("transactions", batch)
+        db.durability.abort()  # crash: no final snapshot, no clean close
+
+        recovered = ChronicleDatabase.open(
+            directory, config=DatabaseConfig(durability=config)
+        )
+        try:
+            report = recovered.durability.last_recovery
+            exact = _state(recovered) == expected
+        finally:
+            recovered.close()
+        bounded = report.replayed_batches <= SNAPSHOT_INTERVAL
+        return report.replayed_batches, report.seconds, exact, bounded
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+def run_report() -> str:
+    results = run_measurements(modes=("off", "wal", "wal+snapshot"))
+    rows = []
+    for mode in ("off", "wal", "wal+snapshot"):
+        rows.append(
+            [mode, f"{results[mode]:,.0f}", f"{results[mode] / results['off']:.2f}x"]
+        )
+    replayed, seconds, exact, bounded = run_recovery()
+    return (
+        f"== E17  durability overhead (fsync={FSYNC}, {BATCH}-record "
+        f"batches, {len(_view_names())} views) ==\n"
+        + format_table(["durability", "records/s", "vs off"], rows)
+        + f"\nrecovery: crash after {RECOVERY_BATCHES} batches "
+        f"(snapshot every {SNAPSHOT_INTERVAL}) -> replayed {replayed} "
+        f"batch(es) in {seconds * 1000:.1f}ms; "
+        f"state {'EXACT' if exact else 'MISMATCH'}, "
+        f"replay {'bounded' if bounded else 'UNBOUNDED'}\n"
+        f"expected: wal >= {OVERHEAD_BAR:.2f}x off; replay <= the "
+        f"snapshot interval; recovered state identical to an "
+        f"uninterrupted run\n"
+    )
+
+
+def gate() -> int:
+    """Measure TRIALS times, record BENCH_e17.json, gate on the median."""
+    trials = []
+    rates = []
+    for _ in range(TRIALS):
+        results = run_measurements()
+        trials.append(results["wal"] / results["off"])
+        rates.append(results)
+    observed = median(trials)
+    spread = mad(trials)
+    replayed, seconds, exact, bounded = run_recovery()
+
+    history = load_history(RESULTS_PATH, EXPERIMENT)
+    previous_best = max(
+        (
+            run["ratio"]
+            for run in comparable_runs(history, fsync=FSYNC)
+            if "ratio" in run
+        ),
+        default=None,
+    )
+    append_run(
+        history,
+        {
+            "trials": TRIALS,
+            "fsync": FSYNC,
+            "batch": BATCH,
+            "window": WINDOW,
+            "records_per_sec": {
+                "off": round(median([r["off"] for r in rates]), 1),
+                "wal": round(median([r["wal"] for r in rates]), 1),
+            },
+            "ratio": round(observed, 3),
+            "ratio_trials": [round(r, 3) for r in trials],
+            "ratio_mad": round(spread, 4),
+            "recovery": {
+                "snapshot_interval": SNAPSHOT_INTERVAL,
+                "stream_batches": RECOVERY_BATCHES,
+                "replayed_batches": replayed,
+                "seconds": round(seconds, 4),
+                "exact": exact,
+            },
+        },
+    )
+    save_history(RESULTS_PATH, history)
+
+    print(
+        f"wal/off throughput ratio: median {observed:.3f} of {TRIALS} "
+        f"trials {[round(r, 3) for r in trials]}  MAD {spread:.3f}"
+    )
+    print(
+        f"recovery: replayed {replayed}/{RECOVERY_BATCHES} batch(es) "
+        f"(interval {SNAPSHOT_INTERVAL}) in {seconds * 1000:.1f}ms, "
+        f"state {'exact' if exact else 'MISMATCH'}"
+    )
+    print(f"results appended to {RESULTS_PATH}")
+    failed = False
+    if observed < OVERHEAD_BAR:
+        print(
+            f"REGRESSION: median wal/off ratio {observed:.3f} is below "
+            f"the {OVERHEAD_BAR} acceptance bar (> 15% overhead)"
+        )
+        failed = True
+    if (
+        previous_best is not None
+        and observed < TOLERANCE * previous_best
+        and observed < previous_best - MAD_BAND * spread
+    ):
+        print(
+            f"REGRESSION: median ratio {observed:.3f} is below "
+            f"{TOLERANCE:.0%} of the best recorded {previous_best:.3f} "
+            f"and outside the {MAD_BAND:.0f}-MAD noise band ({spread:.3f})"
+        )
+        failed = True
+    if not exact:
+        print("FAIL: recovered state differs from the uninterrupted run")
+        failed = True
+    if not bounded:
+        print(
+            f"FAIL: recovery replayed {replayed} batches — more than the "
+            f"{SNAPSHOT_INTERVAL}-batch snapshot interval"
+        )
+        failed = True
+    if not failed:
+        print("ok: no regression")
+    return 1 if failed else 0
+
+
+def test_e17_durability_overhead():
+    best = 0.0
+    for _ in range(TRIALS):
+        results = run_measurements()
+        best = max(best, results["wal"] / results["off"])
+    assert best >= OVERHEAD_BAR
+
+
+def test_e17_recovery_bounded_and_exact():
+    replayed, _, exact, bounded = run_recovery()
+    assert exact
+    assert bounded
+    assert replayed == RECOVERY_BATCHES % SNAPSHOT_INTERVAL
+
+
+if __name__ == "__main__":
+    if "--gate" in sys.argv:
+        sys.exit(gate())
+    sys.stdout.write(run_report())

@@ -28,6 +28,7 @@ MODULES = [
     "bench_e13_conformance",
     "bench_e14_sharded",
     "bench_e15_multicore",
+    "bench_e17_durability",
     "bench_a1_ablations",
 ]
 

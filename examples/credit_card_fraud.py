@@ -16,7 +16,7 @@ Run:  python examples/credit_card_fraud.py
 import io
 
 from repro import ChronicleDatabase
-from repro.storage.checkpoint import checkpoint_database, restore_database
+from repro.storage.checkpoint import write_checkpoint, load_checkpoint
 from repro.workloads import CreditCardWorkload
 
 RISK_THRESHOLD_CENTS = 50_000
@@ -55,14 +55,14 @@ def main() -> None:
     for record in records[: len(records) // 2]:
         db.append("purchases", record)
     snapshot = io.StringIO()
-    checkpoint_database(db, snapshot)
+    write_checkpoint(db, snapshot)
 
     # Simulated crash + restart: rebuild the schema, restore the state,
     # and replay only the *new* traffic (the old stream is gone — and was
     # never stored anywhere).
     db = build()
     snapshot.seek(0)
-    restore_database(db, snapshot)
+    load_checkpoint(db, snapshot)
     for record in records[len(records) // 2:]:
         db.append("purchases", record)
 

@@ -26,7 +26,7 @@ from . import errors
 from .aggregates import AVG, COUNT, FIRST, LAST, MAX, MIN, STDEV, SUM, VAR, AggregateSpec, spec
 from .algebra import IMClass, Language, classify, scan
 from .core import Chronicle, ChronicleGroup, Delta, chronicle_schema
-from .core.config import DatabaseConfig
+from .core.config import DatabaseConfig, DurabilityConfig
 from .core.database import ChronicleDatabase
 from .obs import MetricsRegistry, Observability, Tracer
 from .workloads import (
@@ -68,6 +68,7 @@ __all__ = [
     # The facade: the database, its configuration, the engines' shared API.
     "ChronicleDatabase",
     "DatabaseConfig",
+    "DurabilityConfig",
     "Chronicle",
     "ChronicleGroup",
     "chronicle_schema",

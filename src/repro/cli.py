@@ -26,6 +26,9 @@ commands::
     SERVE STOP;
     CHECKPOINT /tmp/db.ckpt;
     RESTORE /tmp/db.ckpt;
+    OPEN /tmp/durable-db;
+    FLUSH;
+    SHOW DURABILITY;
 
 ``SHOW STATS`` prints the registry routing statistics and the metrics
 snapshot; ``SHOW HEALTH`` evaluates the session's SLO policy and prints
@@ -49,7 +52,11 @@ HTTP exporter (``/metrics``, ``/certificates``, ``/snapshot``; port 0
 picks an ephemeral port); ``SERVE STOP`` stops it.  A session keeps its
 own :class:`~repro.obs.Observability` handle and installs it only for
 the duration of each statement, so CLI instrumentation never leaks into
-the rest of the process.
+the rest of the process.  ``OPEN dir`` switches the session to a durable
+database at *dir* (recover-or-create, the
+:meth:`~repro.core.database.ChronicleDatabase.open` lifecycle); ``FLUSH``
+forces the append-ahead log to disk and ``SHOW DURABILITY`` prints the
+WAL/snapshot status including the last recovery report.
 
 Records are JSON objects.  The module is import-safe: :class:`Session`
 executes statements and returns text, so tests drive it directly.
@@ -119,6 +126,8 @@ class Session:
     """
 
     def __init__(self, observe: bool = True, config: Optional[Any] = None) -> None:
+        self._observe = observe
+        self._config = config
         self.db = ChronicleDatabase(config=config)
         if observe:
             self.db.enable_observability(install=False, audit="warn")
@@ -174,7 +183,28 @@ class Session:
         if head == "RESTORE":
             self.db.restore(self._path_arg(words, "RESTORE"))
             return "checkpoint restored"
+        if head == "OPEN":
+            return self._open(self._path_arg(words, "OPEN"))
+        if head == "FLUSH":
+            self.db.flush()
+            return "log flushed"
         raise CliError(f"unknown statement {head!r} (try SHOW CATALOG)")
+
+    def _open(self, path: str) -> str:
+        """``OPEN <dir>``: recover-or-create a durable database there."""
+        self.db.close()
+        self.db = ChronicleDatabase.open(path, config=self._config)
+        if self._observe:
+            self.db.enable_observability(install=False, audit="warn")
+        manager = self.db.durability
+        report = manager.last_recovery if manager is not None else None
+        if report is None:
+            return f"opened {path} (fresh)"
+        return (
+            f"opened {path}: recovered snapshot@{report.snapshot_watermark}, "
+            f"replayed {report.replayed_batches} batch(es), "
+            f"{report.replayed_ddl} catalog op(s)"
+        )
 
     @staticmethod
     def _path_arg(words: List[str], what: str) -> str:
@@ -282,7 +312,22 @@ class Session:
             return self._show_health()
         if target == "WORKERS":
             return self._show_workers()
+        if target == "DURABILITY":
+            return self._show_durability()
         raise CliError(f"SHOW: unknown target {target!r}")
+
+    def _show_durability(self) -> str:
+        manager = self.db.durability
+        if manager is None:
+            return "  durability=off (use OPEN <dir> or DurabilityConfig)"
+        lines = []
+        for key, value in manager.status().items():
+            if isinstance(value, dict):
+                lines.append(f"  {key}:")
+                lines.extend(f"    {k}={v!r}" for k, v in value.items())
+            else:
+                lines.append(f"  {key}={value!r}")
+        return "\n".join(lines)
 
     def _show_health(self) -> str:
         obs = self._observability()

@@ -33,6 +33,82 @@ EXECUTORS = ("thread", "serial", "process")
 #: Supported auditor modes (observability).
 AUDIT_MODES = ("off", "warn", "raise")
 
+#: Supported durability modes.
+DURABILITY_MODES = ("off", "wal", "wal+snapshot")
+
+#: Supported WAL fsync policies.
+FSYNC_POLICIES = ("always", "batch", "off")
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """Immutable durability knobs of a :class:`ChronicleDatabase`.
+
+    Parameters
+    ----------
+    mode:
+        ``"off"`` — no durability, the hot path is untouched (default);
+        ``"wal"`` — every admitted batch is written to the append-ahead
+        log before maintenance applies it; ``"wal+snapshot"`` — the WAL
+        plus periodic watermark-stamped view snapshots, after which the
+        log tail is truncated (bounded recovery and bounded disk).
+    dir:
+        Directory holding the database's durability file (one SQLite
+        file per database, ``wal`` journal mode).  Required whenever
+        *mode* is not ``"off"``; created on first use.
+    fsync:
+        ``"always"`` — fsync per logged batch (synchronous=FULL);
+        ``"batch"`` — commit per batch without per-batch fsync
+        (synchronous=NORMAL; durable against process crash, the OS page
+        cache bounds loss on power failure; fsync happens at snapshot,
+        ``flush()``, and ``close()``); ``"off"`` — no sync at all
+        (benchmarking only).
+    snapshot_interval_batches:
+        In ``"wal+snapshot"`` mode, take a snapshot every N logged
+        batches (N >= 1).
+    """
+
+    mode: str = "off"
+    dir: Optional[str] = None
+    fsync: str = "batch"
+    snapshot_interval_batches: int = 512
+
+    def __post_init__(self) -> None:
+        if self.mode not in DURABILITY_MODES:
+            raise ConfigError(
+                f"unknown durability mode {self.mode!r}; "
+                f"expected one of {DURABILITY_MODES}"
+            )
+        if self.fsync not in FSYNC_POLICIES:
+            raise ConfigError(
+                f"unknown fsync policy {self.fsync!r}; "
+                f"expected one of {FSYNC_POLICIES}"
+            )
+        if self.dir is not None and not isinstance(self.dir, str):
+            raise ConfigError(
+                f"durability dir must be a path string or None, got {self.dir!r}"
+            )
+        if self.mode != "off" and not self.dir:
+            raise ConfigError(
+                f"durability mode {self.mode!r} requires dir to be set"
+            )
+        if (
+            not isinstance(self.snapshot_interval_batches, int)
+            or isinstance(self.snapshot_interval_batches, bool)
+            or self.snapshot_interval_batches < 1
+        ):
+            raise ConfigError(
+                "snapshot_interval_batches must be a positive int, got "
+                f"{self.snapshot_interval_batches!r}"
+            )
+
+    def replace(self, **changes: Any) -> "DurabilityConfig":
+        """A copy of this config with *changes* applied (validated)."""
+        unknown = set(changes) - {f.name for f in fields(self)}
+        if unknown:
+            raise ConfigError(f"unknown config fields {sorted(unknown)}")
+        return replace(self, **changes)
+
 
 @dataclass(frozen=True)
 class DatabaseConfig:
@@ -79,6 +155,9 @@ class DatabaseConfig:
     aggregates:
         Aggregate registry for the view language (``None`` — a fresh
         copy of the standard registry).
+    durability:
+        A :class:`DurabilityConfig`.  ``None`` normalizes to the default
+        (mode ``"off"``), keeping the hot path untouched.
     """
 
     engine: str = "serial"
@@ -91,8 +170,16 @@ class DatabaseConfig:
     slo: Optional[SloPolicy] = None
     relay_telemetry: bool = True
     aggregates: Optional[Any] = field(default=None, compare=False)
+    durability: Optional[DurabilityConfig] = None
 
     def __post_init__(self) -> None:
+        if self.durability is None:
+            object.__setattr__(self, "durability", DurabilityConfig())
+        elif not isinstance(self.durability, DurabilityConfig):
+            raise ConfigError(
+                "durability must be a DurabilityConfig or None, got "
+                f"{type(self.durability).__name__}"
+            )
         if self.slo is not None and not isinstance(self.slo, SloPolicy):
             raise ConfigError(
                 f"slo must be an SloPolicy or None, got {type(self.slo).__name__}"

@@ -139,6 +139,13 @@ class ChronicleDatabase:
         self._exporter_finalizer: Optional[weakref.finalize] = None
         if observability is not None or config.observe:
             self.enable_observability(observability)
+        #: The durability manager (None when ``config.durability`` is off —
+        #: the hot path then carries no durability hooks at all).
+        self._durability: Optional[Any] = None
+        if config.durability is not None and config.durability.mode != "off":
+            from ..storage.durability import DurabilityManager
+
+            self._durability = DurabilityManager(self, config.durability)
 
     # -- observability --------------------------------------------------------------
 
@@ -250,16 +257,22 @@ class ChronicleDatabase:
         return server
 
     def close(self) -> None:
-        """Release background resources (idempotent).
+        """Release background resources and finalize the log (idempotent).
 
-        Stops the metrics exporter's serving thread if one is running.
-        The database remains usable for in-process work afterwards; use
-        the context-manager form to scope the exporter to a block::
+        With durability on, a final snapshot is taken if batches were
+        logged since the last one (``wal+snapshot`` mode), the log is
+        fsynced, and the durability file is closed — after which new
+        appends are no longer logged.  Stops the metrics exporter's
+        serving thread if one is running.  The database remains usable
+        for in-process work afterwards; use the context-manager form to
+        scope the exporter to a block::
 
             with ChronicleDatabase(...) as db:
                 db.serve_metrics(port=0)
                 ...
         """
+        if self._durability is not None:
+            self._durability.close()
         if self._exporter_finalizer is not None:
             self._exporter_finalizer.detach()
             self._exporter_finalizer = None
@@ -286,6 +299,18 @@ class ChronicleDatabase:
         group = ChronicleGroup(name, chronons=chronons, start=start)
         group.subscribe(self.registry.on_event)
         self.groups[name] = group
+        if self._durability is not None:
+            self._durability.attach_group(group)
+            if chronons is not None:
+                from ..storage.durability import NonDurableWarning
+
+                warnings.warn(
+                    f"group {name!r} uses a custom chronon mapper; its state "
+                    f"is not logged and will reset on recovery",
+                    NonDurableWarning,
+                    stacklevel=2,
+                )
+            self._durability.record_ddl(("group", name, start))
         return group
 
     def group(self, name: str = DEFAULT_GROUP) -> ChronicleGroup:
@@ -310,6 +335,12 @@ class ChronicleDatabase:
             raise ChronicleGroupError(f"{name!r} already names a relation")
         chronicle = self.group(group).create_chronicle(name, schema, retention=retention)
         self._chronicle_group[name] = group
+        if self._durability is not None:
+            from ..algebra.plan import schema_spec
+
+            self._durability.record_ddl(
+                ("chronicle", name, schema_spec(chronicle.schema), retention, group)
+            )
         return chronicle
 
     def chronicle(self, name: str) -> Chronicle:
@@ -339,6 +370,12 @@ class ChronicleDatabase:
             name, schema, watermark=lambda: owner.watermark, keep_history=keep_history
         )
         self.relations[name] = relation
+        if self._durability is not None:
+            from ..algebra.plan import schema_spec
+
+            self._durability.record_ddl(
+                ("relation", name, schema_spec(relation.schema), group, keep_history)
+            )
         return relation
 
     def relation(self, name: str) -> VersionedRelation:
@@ -379,7 +416,12 @@ class ChronicleDatabase:
             compiler = Compiler(self.catalog(), self.aggregates)
             compiled = compiler.compile_definition(definition)
             if compiled.is_periodic:
-                return self._define_periodic_from_compiled(compiled, name)
+                view_set = self._define_periodic_from_compiled(compiled, name)
+                if self._durability is not None:
+                    self._durability.record_view_definition(
+                        definition, name, materialize
+                    )
+                return view_set
             view_name, summary = compiled.name, compiled.summary
             if name is not None:
                 view_name = name
@@ -387,7 +429,13 @@ class ChronicleDatabase:
             if name is None:
                 raise ViewRegistrationError("a programmatic view needs a name")
             view_name, summary = name, definition
-        return self._register_summary(view_name, summary, materialize)
+        view = self._register_summary(view_name, summary, materialize)
+        if self._durability is not None:
+            if isinstance(definition, str):
+                self._durability.record_view_definition(definition, name, materialize)
+            else:
+                self._durability.record_view_definition(summary, view_name, materialize)
+        return view
 
     def _register_summary(
         self, view_name: str, summary: Summary, materialize: bool
@@ -449,11 +497,22 @@ class ChronicleDatabase:
             on_expire=on_expire,
         )
         self.registry.register_periodic(view_set, self.group(group))
+        if self._durability is not None:
+            from ..storage.durability import NonDurableWarning
+
+            warnings.warn(
+                f"programmatic periodic view {name!r} cannot be logged; "
+                f"recovery will not rebuild it — re-define it after open()",
+                NonDurableWarning,
+                stacklevel=2,
+            )
         return view_set
 
     def drop_view(self, name: str) -> None:
         """Unregister a persistent or periodic view."""
         self.registry.unregister(name)
+        if self._durability is not None:
+            self._durability.record_ddl(("drop_view", name))
 
     def view(self, name: str) -> PersistentView:
         """Fetch a registered persistent view."""
@@ -477,9 +536,12 @@ class ChronicleDatabase:
         group_name = self._chronicle_group.get(chronicle)
         if group_name is None:
             raise ChronicleGroupError(f"no chronicle named {chronicle!r}")
-        return self.groups[group_name].append(
+        rows = self.groups[group_name].append(
             chronicle, records, sequence_number=sequence_number, instant=instant
         )
+        if self._durability is not None:
+            self._durability.batch_committed()
+        return rows
 
     def append_simultaneous(
         self,
@@ -489,9 +551,12 @@ class ChronicleDatabase:
         instant: Optional[float] = None,
     ) -> Dict[str, Tuple[Row, ...]]:
         """Append to several chronicles at one sequence number."""
-        return self.group(group).append_simultaneous(
+        stamped = self.group(group).append_simultaneous(
             batches, sequence_number=sequence_number, instant=instant
         )
+        if self._durability is not None:
+            self._durability.batch_committed()
+        return stamped
 
     def ingest(
         self,
@@ -513,7 +578,10 @@ class ChronicleDatabase:
 
     def update_relation(self, name: str, key: Sequence[Any], **changes: Any) -> bool:
         """Proactively update a relation row (Section 2.3)."""
-        return self.relation(name).update_key(key, **changes)
+        updated = self.relation(name).update_key(key, **changes)
+        if updated and self._durability is not None:
+            self._durability.record_relation_update(name, key, changes)
+        return updated
 
     # -- queries ---------------------------------------------------------------------------
 
@@ -596,27 +664,90 @@ class ChronicleDatabase:
 
     # -- durability --------------------------------------------------------------------
 
+    @classmethod
+    def open(
+        cls, path: str, config: Optional[DatabaseConfig] = None
+    ) -> "ChronicleDatabase":
+        """Open a durable database at *path*: recover-or-create.
+
+        *path* is the durability directory (created on first use).  When
+        it already holds durable state, the catalog is rebuilt from the
+        logged DDL, the latest watermark-stamped snapshot is loaded, and
+        the log tail replays through the normal maintenance path before
+        the database is returned; otherwise a fresh durable database is
+        created.  *config* selects the engine and all other knobs; its
+        ``durability.dir`` is overridden by *path*, and a mode of
+        ``"off"`` is promoted to ``"wal+snapshot"`` (opening a database
+        is an explicit request for durability).
+        """
+        from ..storage.durability import open_database
+
+        if config is None:
+            config = DatabaseConfig()
+        durability = config.durability
+        if durability.mode == "off":
+            durability = durability.replace(mode="wal+snapshot", dir=path)
+        else:
+            durability = durability.replace(dir=path)
+        return open_database(config.replace(durability=durability))
+
+    @property
+    def durability(self) -> Optional[Any]:
+        """The durability manager (None when durability is off)."""
+        return self._durability
+
+    def flush(self) -> None:
+        """Force the append-ahead log to durable storage (fsync barrier).
+
+        With ``fsync="batch"`` the log is committed per batch but only
+        fsynced at snapshots and here; ``flush()`` is the explicit
+        durability barrier.  No-op when durability is off.
+        """
+        if self._durability is not None:
+            self._durability.flush()
+
     def checkpoint(self, path: str) -> None:
         """Write a durable snapshot of watermarks, relations, and views.
 
         Chronicles themselves are streams and are not stored; the views'
         materialized rows and aggregate accumulators — the only copy of
-        the summarized history — are what the checkpoint protects.
+        the summarized history — are what the checkpoint protects.  The
+        durability subsystem's periodic snapshots use this same codec;
+        an explicit checkpoint works with or without durability on.
         """
-        from ..storage.checkpoint import checkpoint_database
+        from ..storage.checkpoint import write_checkpoint
 
-        checkpoint_database(self, path)
+        write_checkpoint(self, path)
 
-    def restore(self, path: str) -> None:
+    def restore(self, source: Any) -> None:
         """Restore view/relation state from :meth:`checkpoint` output.
 
-        The database must first be re-declared to the same shape (groups,
-        relations, view definitions); define views with
-        ``materialize=False`` since their state comes from the checkpoint.
+        *source* is a path, an open text file, or an already-parsed
+        checkpoint document.  The database must first be re-declared to
+        the same shape (groups, relations, view definitions); define
+        views with ``materialize=False`` since their state comes from
+        the checkpoint.
         """
-        from ..storage.checkpoint import restore_database
+        from ..storage.checkpoint import load_checkpoint
 
-        restore_database(self, path)
+        load_checkpoint(self, source)
+
+    def _replay_stamped(
+        self,
+        group: ChronicleGroup,
+        event: Mapping[str, Tuple[Row, ...]],
+        watermark: SequenceNumber,
+    ) -> None:
+        """Recovery hook: re-apply one logged batch (engine-specific).
+
+        The serial engine absorbs the event through the group-commit
+        path when the group's watermark is still behind it — replay past
+        the watermark, skip what a snapshot already covers.  The sharded
+        engine overrides this to also route the event to the shards that
+        are still behind.
+        """
+        if watermark > group.watermark:
+            group.ingest_stamped(event, watermark)
 
     def __repr__(self) -> str:
         return (

@@ -1230,6 +1230,8 @@ class ShardedDatabase(ChronicleDatabase):
             return
         self._maintainer.view_removed(merged._shard_group, name)
         merged._shard_group.remove_view(name)
+        if self._durability is not None:
+            self._durability.record_ddl(("drop_view", name))
 
     def view(self, name: str) -> Any:
         """Fetch a view handle: merged for partitioned views."""
@@ -1278,6 +1280,8 @@ class ShardedDatabase(ChronicleDatabase):
             if rows and self._shard_groups:
                 pending = self._route({chronicle: rows})
                 self._dispatch(pending, group.watermark, admitted_at)
+            if self._durability is not None:
+                self._durability.batch_committed()
             return rows
         finally:
             self._finish_ingest_span(span, batches=1)
@@ -1300,6 +1304,8 @@ class ShardedDatabase(ChronicleDatabase):
             if event and self._shard_groups:
                 pending = self._route(event)
                 self._dispatch(pending, owner.watermark, admitted_at)
+            if self._durability is not None:
+                self._durability.batch_committed()
             return stamped
         finally:
             self._finish_ingest_span(span, batches=1)
@@ -1332,6 +1338,8 @@ class ShardedDatabase(ChronicleDatabase):
                     self._route({chronicle: rows}, into=pending)
             if pending:
                 self._dispatch(pending, group.watermark, admitted_at)
+            if self._durability is not None:
+                self._durability.batch_committed()
             return total
         finally:
             self._finish_ingest_span(span, batches=len(batches))
@@ -1499,7 +1507,7 @@ class ShardedDatabase(ChronicleDatabase):
 
     # -- durability -------------------------------------------------------------------
 
-    def restore(self, path: str) -> None:
+    def restore(self, source: Any) -> None:
         """Restore from a checkpoint, then resync shard bookkeeping.
 
         Routing is :func:`~repro.parallel.router.stable_hash`-based, so a
@@ -1509,7 +1517,7 @@ class ShardedDatabase(ChronicleDatabase):
         replicas are invalidated — the next window reinstalls them from
         the restored state.
         """
-        super().restore(path)
+        super().restore(source)
         for shard_group in self._shard_groups.values():
             watermark = shard_group.source_group.watermark
             for unit in shard_group.units:
@@ -1517,6 +1525,36 @@ class ShardedDatabase(ChronicleDatabase):
                     unit.watermark = watermark
                     unit.dispatched = watermark
         self._maintainer.reset_units(self.shard_groups)
+
+    def _replay_stamped(
+        self,
+        group: ChronicleGroup,
+        event: Mapping[str, Tuple[Row, ...]],
+        watermark: SequenceNumber,
+    ) -> None:
+        """Watermark-aware replay: serial part, then only the lagging shards.
+
+        The serial admission group (fallback/unpartitionable/periodic
+        views) absorbs the event when its watermark is still behind;
+        each routed shard unit receives it only if that unit's own
+        watermark is behind — a snapshot taken mid-stream leaves nothing
+        to re-apply on the shards it already covers.
+        """
+        super()._replay_stamped(group, event, watermark)
+        if not self._shard_groups:
+            return
+        pending = self._route(event)
+        filtered: Dict[ShardGroup, Dict[int, Dict[str, List[Row]]]] = {}
+        for shard_group, units in pending.items():
+            keep = {
+                index: unit_event
+                for index, unit_event in units.items()
+                if shard_group.units[index].watermark < watermark
+            }
+            if keep:
+                filtered[shard_group] = keep
+        if filtered:
+            self._dispatch(filtered, watermark)
 
     # -- lifecycle ----------------------------------------------------------------------
 

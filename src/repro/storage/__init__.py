@@ -1,6 +1,14 @@
-"""Index structures: chained hash index and B+-tree."""
+"""Storage layer: index structures, the durable-value codec, checkpoints,
+and the durability subsystem (append-ahead log + snapshots)."""
 
 from .btree import BPlusTree
+from .codec import CodecError, decode_value, encode_value
 from .hash_index import HashIndex
 
-__all__ = ["BPlusTree", "HashIndex"]
+__all__ = [
+    "BPlusTree",
+    "CodecError",
+    "HashIndex",
+    "decode_value",
+    "encode_value",
+]

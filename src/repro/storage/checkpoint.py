@@ -13,7 +13,14 @@ history.  A production deployment therefore needs durability for:
 
 The format is a single JSON document (version-tagged).  JSON keeps the
 checkpoint inspectable and avoids pickle's code-execution surface; the
-value encoder handles the tuples that aggregate accumulators use.
+value codec (:mod:`repro.storage.codec`, shared with the WAL subsystem)
+handles the tuples that aggregate accumulators use.
+
+The public entry points are :func:`write_checkpoint` and
+:func:`load_checkpoint` — normally reached through the facade's
+``ChronicleDatabase.checkpoint()`` / ``restore()``.  The original free
+functions ``checkpoint_database`` / ``restore_database`` remain
+importable for one release behind a :class:`DeprecationWarning` shim.
 """
 
 from __future__ import annotations
@@ -21,39 +28,20 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import warnings
 from typing import Any, Dict, IO, Union
 
 from ..errors import ChronicleError
 from ..relational.tuples import Row
+from .codec import CodecError
+from .codec import decode_value as _decode_value
+from .codec import encode_value as _encode_value
 
 FORMAT_VERSION = 1
 
 
 class CheckpointError(ChronicleError):
     """A checkpoint could not be written or restored."""
-
-
-def _encode_value(value: Any) -> Any:
-    """JSON-encode a cell/accumulator value, tagging tuples."""
-    if isinstance(value, tuple):
-        return {"__tuple__": [_encode_value(v) for v in value]}
-    if isinstance(value, list):
-        return [_encode_value(v) for v in value]
-    if value is None or isinstance(value, (bool, int, float, str)):
-        return value
-    raise CheckpointError(
-        f"cannot checkpoint value of type {type(value).__name__}: {value!r}"
-    )
-
-
-def _decode_value(value: Any) -> Any:
-    if isinstance(value, dict):
-        if set(value) == {"__tuple__"}:
-            return tuple(_decode_value(v) for v in value["__tuple__"])
-        raise CheckpointError(f"unexpected object in checkpoint: {value!r}")
-    if isinstance(value, list):
-        return [_decode_value(v) for v in value]
-    return value
 
 
 def _view_state(view: Any) -> Dict[str, Any]:
@@ -104,12 +92,21 @@ def _restore_periodic(view_set: Any, payload: Dict[str, Any]) -> None:
     view_set._instantiated = payload.get("instantiated", len(view_set._active))
 
 
-def checkpoint_database(db: Any, target: Union[str, IO[str]]) -> Dict[str, Any]:
-    """Write a checkpoint of *db* to a path or text file object.
+def checkpoint_document(db: Any) -> Dict[str, Any]:
+    """Build (but do not write) the checkpoint document for *db*.
 
-    Returns the (already-serialized) document for inspection.  Writing to
-    a path is atomic (temp file + rename).
+    This is the in-memory form shared by :func:`write_checkpoint` and the
+    durability subsystem's watermark-stamped snapshots.
     """
+    try:
+        return _checkpoint_document(db)
+    except CodecError as exc:
+        # The shared codec reports the offending value; at this boundary
+        # that is a checkpoint failure.
+        raise CheckpointError(str(exc)) from exc
+
+
+def _checkpoint_document(db: Any) -> Dict[str, Any]:
     document: Dict[str, Any] = {
         "format": FORMAT_VERSION,
         "groups": {
@@ -144,6 +141,16 @@ def checkpoint_database(db: Any, target: Union[str, IO[str]]) -> Dict[str, Any]:
                 ],
                 "maintenance_count": count,
             }
+    return document
+
+
+def write_checkpoint(db: Any, target: Union[str, IO[str]]) -> Dict[str, Any]:
+    """Write a checkpoint of *db* to a path or text file object.
+
+    Returns the (already-serialized) document for inspection.  Writing to
+    a path is atomic (temp file + rename).
+    """
+    document = checkpoint_document(db)
     if isinstance(target, str):
         directory = os.path.dirname(os.path.abspath(target)) or "."
         fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".ckpt")
@@ -160,7 +167,7 @@ def checkpoint_database(db: Any, target: Union[str, IO[str]]) -> Dict[str, Any]:
     return document
 
 
-def restore_database(db: Any, source: Union[str, IO[str], Dict[str, Any]]) -> None:
+def load_checkpoint(db: Any, source: Union[str, IO[str], Dict[str, Any]]) -> None:
     """Restore *db* (with schema already re-declared) from a checkpoint.
 
     The database must have been rebuilt to the same shape — same groups,
@@ -168,6 +175,13 @@ def restore_database(db: Any, source: Union[str, IO[str], Dict[str, Any]]) -> No
     carries state, not schema.  Group watermarks are advanced so the next
     append continues the sequence-number domain where it left off.
     """
+    try:
+        _load_checkpoint(db, source)
+    except CodecError as exc:
+        raise CheckpointError(str(exc)) from exc
+
+
+def _load_checkpoint(db: Any, source: Union[str, IO[str], Dict[str, Any]]) -> None:
     if isinstance(source, str):
         with open(source) as handle:
             document = json.load(handle)
@@ -230,3 +244,24 @@ def restore_database(db: Any, source: Union[str, IO[str], Dict[str, Any]]) -> No
                 f"checkpoint names unknown periodic view {name!r}"
             )
         _restore_periodic(db.registry._periodic[name], payload)
+
+
+#: Deprecated spellings kept for one release per the docs/api.md policy.
+_DEPRECATED = {
+    "checkpoint_database": ("write_checkpoint", write_checkpoint),
+    "restore_database": ("load_checkpoint", load_checkpoint),
+}
+
+
+def __getattr__(name: str) -> Any:
+    if name in _DEPRECATED:
+        replacement, func = _DEPRECATED[name]
+        warnings.warn(
+            f"repro.storage.checkpoint.{name} is deprecated; use "
+            f"ChronicleDatabase.checkpoint()/restore() or "
+            f"repro.storage.checkpoint.{replacement}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return func
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,301 @@
+"""The chronicle append-ahead log: SQLite-backed batches + snapshots.
+
+One SQLite file per database (``chronicle.db`` inside the configured
+durability directory), opened in ``wal`` journal mode.  Two
+schema-versioned tables carry the durable state:
+
+``log``
+    One row per event, in admission order (the rowid is the recovery
+    order).  Kinds: ``batch`` (an admitted append event — the chronicle
+    name → stamped value tuples map of PR 6's cross-process dispatch,
+    pickled, plus the event watermark), ``ddl`` (a catalog operation:
+    group/chronicle/relation/view definitions, interleaved with the
+    batches so a view defined mid-stream replays at the right point),
+    and ``relupdate`` (a proactive relation update).
+
+``snapshots``
+    Watermark-stamped checkpoint documents (the JSON codec shared with
+    :mod:`repro.storage.checkpoint`).  Each snapshot records the log
+    rowid it covers; writing one truncates the covered ``batch`` /
+    ``relupdate`` tail (``ddl`` rows are kept — they rebuild the catalog
+    shape before the snapshot's state is loaded).
+
+The fsync policy maps onto SQLite's ``synchronous`` pragma: ``always``
+→ FULL (fsync per autocommitted batch insert), ``batch`` → NORMAL
+(commit per batch; in WAL mode this survives process crash without a
+per-batch fsync — the file is fsynced at snapshot/flush/close), ``off``
+→ OFF.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import sqlite3
+import threading
+from typing import Any, Dict, Iterator, NamedTuple, Optional, Tuple
+
+from ..errors import ChronicleError
+
+#: Name of the single durability file inside ``DurabilityConfig.dir``.
+WAL_FILENAME = "chronicle.db"
+
+SCHEMA_VERSION = 1
+
+_SYNCHRONOUS = {"always": "FULL", "batch": "NORMAL", "off": "OFF"}
+
+
+class WalError(ChronicleError):
+    """The append-ahead log could not be opened, written, or read."""
+
+
+class WalSnapshot(NamedTuple):
+    """The latest snapshot: covered log rowid, watermark, document."""
+
+    log_id: int
+    watermark: int
+    document: Dict[str, Any]
+
+
+class WalEntry(NamedTuple):
+    """One decoded log row, in admission order."""
+
+    entry_id: int
+    kind: str
+    watermark: int
+    payload: Any
+
+
+def wal_path(directory: str) -> str:
+    """The durability file path for a durability directory."""
+    return os.path.join(directory, WAL_FILENAME)
+
+
+class ChronicleWal:
+    """The SQLite substrate of the durability subsystem.
+
+    Thread-safe for the engine's single-admission discipline plus
+    concurrent reads (a lock serializes statements); all writes are
+    autocommitted per statement except snapshots, which commit the
+    snapshot row and the log-tail truncation atomically.
+    """
+
+    def __init__(self, directory: str, fsync: str = "batch") -> None:
+        if fsync not in _SYNCHRONOUS:
+            raise WalError(f"unknown fsync policy {fsync!r}")
+        os.makedirs(directory, exist_ok=True)
+        self.path = wal_path(directory)
+        self.fsync = fsync
+        self._lock = threading.Lock()
+        try:
+            self._conn: Optional[sqlite3.Connection] = sqlite3.connect(
+                self.path, isolation_level=None, check_same_thread=False
+            )
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute(f"PRAGMA synchronous={_SYNCHRONOUS[fsync]}")
+            self._ensure_schema()
+        except sqlite3.Error as exc:
+            raise WalError(f"cannot open append-ahead log {self.path}: {exc}") from exc
+
+    # -- schema ---------------------------------------------------------------
+
+    def _ensure_schema(self) -> None:
+        conn = self._require()
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT)"
+        )
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS log ("
+            " id INTEGER PRIMARY KEY AUTOINCREMENT,"
+            " kind TEXT NOT NULL,"
+            " watermark INTEGER NOT NULL,"
+            " payload BLOB NOT NULL)"
+        )
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS snapshots ("
+            " id INTEGER PRIMARY KEY AUTOINCREMENT,"
+            " log_id INTEGER NOT NULL,"
+            " watermark INTEGER NOT NULL,"
+            " document TEXT NOT NULL)"
+        )
+        row = conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        if row is None:
+            conn.execute(
+                "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
+                (str(SCHEMA_VERSION),),
+            )
+        elif int(row[0]) != SCHEMA_VERSION:
+            raise WalError(
+                f"append-ahead log {self.path} has schema version {row[0]}, "
+                f"this build supports {SCHEMA_VERSION}"
+            )
+
+    def _require(self) -> sqlite3.Connection:
+        if self._conn is None:
+            raise WalError(f"append-ahead log {self.path} is closed")
+        return self._conn
+
+    @property
+    def closed(self) -> bool:
+        return self._conn is None
+
+    # -- writes ---------------------------------------------------------------
+
+    def log_batch(
+        self, group: str, payload: Dict[str, list], watermark: int
+    ) -> int:
+        """Append one admitted batch; returns the encoded size in bytes."""
+        blob = pickle.dumps((group, payload), protocol=pickle.HIGHEST_PROTOCOL)
+        with self._lock:
+            self._require().execute(
+                "INSERT INTO log (kind, watermark, payload) VALUES ('batch', ?, ?)",
+                (watermark, blob),
+            )
+        return len(blob)
+
+    def log_ddl(self, op: Tuple[Any, ...], watermark: int) -> None:
+        """Append one catalog operation, ordered against the batches."""
+        blob = pickle.dumps(op, protocol=pickle.HIGHEST_PROTOCOL)
+        with self._lock:
+            self._require().execute(
+                "INSERT INTO log (kind, watermark, payload) VALUES ('ddl', ?, ?)",
+                (watermark, blob),
+            )
+
+    def log_relation_update(
+        self, name: str, key: Any, changes: Dict[str, Any], watermark: int
+    ) -> None:
+        """Append one proactive relation update, ordered against the batches."""
+        blob = pickle.dumps((name, key, changes), protocol=pickle.HIGHEST_PROTOCOL)
+        with self._lock:
+            self._require().execute(
+                "INSERT INTO log (kind, watermark, payload)"
+                " VALUES ('relupdate', ?, ?)",
+                (watermark, blob),
+            )
+
+    def write_snapshot(
+        self, document: Dict[str, Any], watermark: int
+    ) -> Tuple[int, int]:
+        """Store a snapshot and truncate the covered log tail.
+
+        Returns ``(snapshot_bytes, truncated_rows)``.  The snapshot row,
+        the deletion of older snapshots, and the truncation of covered
+        ``batch``/``relupdate`` rows commit atomically; the WAL file is
+        checkpointed (fsync) afterwards regardless of the fsync policy.
+        """
+        text = json.dumps(document)
+        with self._lock:
+            conn = self._require()
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                row = conn.execute("SELECT COALESCE(MAX(id), 0) FROM log").fetchone()
+                log_id = int(row[0])
+                conn.execute("DELETE FROM snapshots")
+                conn.execute(
+                    "INSERT INTO snapshots (log_id, watermark, document)"
+                    " VALUES (?, ?, ?)",
+                    (log_id, watermark, text),
+                )
+                cursor = conn.execute(
+                    "DELETE FROM log WHERE id <= ? AND kind != 'ddl'", (log_id,)
+                )
+                truncated = cursor.rowcount
+                conn.execute("COMMIT")
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+            conn.execute("PRAGMA wal_checkpoint(FULL)")
+        return len(text), truncated
+
+    def flush(self) -> None:
+        """Checkpoint the SQLite WAL file — an explicit fsync barrier."""
+        with self._lock:
+            self._require().execute("PRAGMA wal_checkpoint(FULL)")
+
+    # -- reads ----------------------------------------------------------------
+
+    def is_fresh(self) -> bool:
+        """Whether the log holds no events and no snapshot yet."""
+        with self._lock:
+            conn = self._require()
+            has_log = conn.execute("SELECT 1 FROM log LIMIT 1").fetchone()
+            has_snap = conn.execute("SELECT 1 FROM snapshots LIMIT 1").fetchone()
+        return has_log is None and has_snap is None
+
+    def latest_snapshot(self) -> Optional[WalSnapshot]:
+        with self._lock:
+            row = self._require().execute(
+                "SELECT log_id, watermark, document FROM snapshots"
+                " ORDER BY id DESC LIMIT 1"
+            ).fetchone()
+        if row is None:
+            return None
+        return WalSnapshot(int(row[0]), int(row[1]), json.loads(row[2]))
+
+    def ddl_entries(self, up_to: int) -> Iterator[WalEntry]:
+        """Catalog operations at or below log rowid *up_to*, in order."""
+        with self._lock:
+            rows = self._require().execute(
+                "SELECT id, watermark, payload FROM log"
+                " WHERE kind = 'ddl' AND id <= ? ORDER BY id",
+                (up_to,),
+            ).fetchall()
+        for entry_id, watermark, blob in rows:
+            yield WalEntry(entry_id, "ddl", watermark, pickle.loads(blob))
+
+    def entries(self, after: int = 0) -> Iterator[WalEntry]:
+        """All log rows above rowid *after*, decoded, in admission order."""
+        with self._lock:
+            rows = self._require().execute(
+                "SELECT id, kind, watermark, payload FROM log"
+                " WHERE id > ? ORDER BY id",
+                (after,),
+            ).fetchall()
+        for entry_id, kind, watermark, blob in rows:
+            try:
+                payload = pickle.loads(blob)
+            except Exception as exc:
+                raise WalError(
+                    f"corrupt log entry {entry_id} ({kind}): {exc}"
+                ) from exc
+            yield WalEntry(entry_id, kind, watermark, payload)
+
+    def log_rows(self) -> int:
+        with self._lock:
+            row = self._require().execute("SELECT COUNT(*) FROM log").fetchone()
+        return int(row[0])
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush and close the underlying connection (idempotent)."""
+        with self._lock:
+            if self._conn is None:
+                return
+            try:
+                self._conn.execute("PRAGMA wal_checkpoint(FULL)")
+            except sqlite3.Error:
+                pass
+            self._conn.close()
+            self._conn = None
+
+    def abort(self) -> None:
+        """Fault injection: drop the connection as a crash would.
+
+        No snapshot, no flush, no finalization — whatever SQLite already
+        committed is what recovery will see.  Used by the crash-recovery
+        tests and the E17 benchmark.
+        """
+        with self._lock:
+            if self._conn is None:
+                return
+            self._conn.close()
+            self._conn = None
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else f"fsync={self.fsync!r}"
+        return f"ChronicleWal({self.path!r}, {state})"

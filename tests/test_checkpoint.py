@@ -9,8 +9,8 @@ import pytest
 from repro.core.database import ChronicleDatabase
 from repro.storage.checkpoint import (
     CheckpointError,
-    checkpoint_database,
-    restore_database,
+    write_checkpoint,
+    load_checkpoint,
 )
 
 
@@ -92,10 +92,10 @@ class TestRoundTrip:
         db = build()
         db.append("calls", {"caller": 1, "minutes": 10})
         buffer = io.StringIO()
-        checkpoint_database(db, buffer)
+        write_checkpoint(db, buffer)
         buffer.seek(0)
         fresh = build()
-        restore_database(fresh, buffer)
+        load_checkpoint(fresh, buffer)
         assert fresh.view_value("usage", (1,), "total") == 10
 
     def test_document_is_plain_json(self, tmp_path):
@@ -111,9 +111,9 @@ class TestRoundTrip:
     def test_restore_from_document_dict(self):
         db = build()
         db.append("calls", {"caller": 1, "minutes": 10})
-        document = checkpoint_database(db, io.StringIO())
+        document = write_checkpoint(db, io.StringIO())
         fresh = build()
-        restore_database(fresh, document)
+        load_checkpoint(fresh, document)
         assert fresh.view_value("usage", (1,), "total") == 10
 
 
@@ -135,11 +135,11 @@ class TestPeriodicCheckpoint:
         db.append("calls", {"caller": 1, "minutes": 10, "day": 5})
         db.append("calls", {"caller": 1, "minutes": 20, "day": 45})
         buffer = io.StringIO()
-        checkpoint_database(db, buffer)
+        write_checkpoint(db, buffer)
         buffer.seek(0)
 
         fresh = self.build_periodic()
-        restore_database(fresh, buffer)
+        load_checkpoint(fresh, buffer)
         months = fresh.periodic_view("monthly")
         assert months[0].value((1,), "total") == 10
         assert months[1].value((1,), "total") == 20
@@ -161,7 +161,7 @@ class TestPeriodicCheckpoint:
         db.append("calls", {"caller": 1, "minutes": 10, "day": 5})
         db.append("calls", {"caller": 1, "minutes": 20, "day": 65})  # expires month 0
         buffer = io.StringIO()
-        checkpoint_database(db, buffer)
+        write_checkpoint(db, buffer)
         buffer.seek(0)
 
         fresh = ChronicleDatabase()
@@ -173,7 +173,7 @@ class TestPeriodicCheckpoint:
             "DEFINE PERIODIC VIEW monthly OVER EVERY 30 EXPIRE AFTER 0 BY day AS "
             "SELECT caller, SUM(minutes) AS total FROM calls GROUP BY caller"
         )
-        restore_database(fresh, buffer)
+        load_checkpoint(fresh, buffer)
         from repro.errors import ViewExpiredError
 
         with pytest.raises(ViewExpiredError):

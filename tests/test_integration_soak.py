@@ -18,7 +18,7 @@ import pytest
 
 from repro.core.config import DatabaseConfig
 from repro.core.database import ChronicleDatabase
-from repro.storage.checkpoint import checkpoint_database, restore_database
+from repro.storage.checkpoint import write_checkpoint, load_checkpoint
 
 SUBSCRIBERS = 40
 STATES = ("NJ", "NY", "CT")
@@ -168,12 +168,12 @@ def test_soak_checkpoint_mid_stream():
     rng = random.Random(99)
     drive(db, shadow, rng, 1_000)
     buffer = io.StringIO()
-    checkpoint_database(db, buffer)
+    write_checkpoint(db, buffer)
     buffer.seek(0)
 
     # "Restart": rebuild the same shape, restore, keep driving both.
     fresh = build()
-    restore_database(fresh, buffer)
+    load_checkpoint(fresh, buffer)
     fresh_shadow = ShadowModel(fresh)
     fresh_shadow.usage = dict(shadow.usage)
     fresh_shadow.by_state = dict(shadow.by_state)

@@ -118,7 +118,7 @@ def test_language_views_survive_checkpoint(statement, seed):
     """Checkpoint/restore round-trips every language-generated view."""
     import io
 
-    from repro.storage.checkpoint import checkpoint_database, restore_database
+    from repro.storage.checkpoint import write_checkpoint, load_checkpoint
 
     db, rng = build_database(seed)
     view = db.define_view(statement)
@@ -128,12 +128,12 @@ def test_language_views_survive_checkpoint(statement, seed):
             {"acct": rng.randrange(6), "mins": rng.randrange(9), "day": 0},
         )
     buffer = io.StringIO()
-    checkpoint_database(db, buffer)
+    write_checkpoint(db, buffer)
     buffer.seek(0)
 
     fresh, _ = build_database(seed)
     fresh_view = fresh.define_view(statement, materialize=False)
-    restore_database(fresh, buffer)
+    load_checkpoint(fresh, buffer)
     assert sorted(tuple(r.values) for r in fresh_view) == sorted(
         tuple(r.values) for r in view
     )
