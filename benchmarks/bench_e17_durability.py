@@ -18,7 +18,13 @@ chronicle, the ATM regime of small transaction batches):
   against the snapshot interval — and (b) reproduce **exactly** the
   view state of an uninterrupted run of the same stream.
 
-``gate()`` persists both to ``BENCH_e17.json`` (schema v2, see
+A third **report-only** leg measures per-batch append latency under
+``fsync="always"`` (synchronous=FULL — one real fsync per batch): p50
+and p99 over individual ``append`` calls.  It is recorded in
+``BENCH_e17.json`` for trend-watching but never gated — fsync latency
+is a property of the disk, not of this code.
+
+``gate()`` persists everything to ``BENCH_e17.json`` (schema v2, see
 ``_results.py``) and exits non-zero on a missed bar, a recovery
 mismatch, or an unbounded replay.
 """
@@ -65,6 +71,8 @@ MAD_BAND = 3.0
 
 SNAPSHOT_INTERVAL = 64  # recovery leg: replay is bounded by this
 RECOVERY_BATCHES = 2 * SNAPSHOT_INTERVAL + 17  # leaves a 17-batch tail
+
+FSYNC_LATENCY_BATCHES = 192  # fsync="always" leg: timed appends (report-only)
 
 RESULTS_PATH = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_e17.json"
@@ -203,6 +211,36 @@ def run_recovery():
         shutil.rmtree(directory, ignore_errors=True)
 
 
+def run_fsync_latency(batches=FSYNC_LATENCY_BATCHES):
+    """Per-batch append latency under ``fsync="always"`` (report-only).
+
+    Times each individual ``append`` (admission + WAL commit at
+    synchronous=FULL + maintenance of all views) and returns
+    ``(p50_seconds, p99_seconds, batches)``.
+    """
+    workload = BankingWorkload(seed=29)
+    prepared = [list(workload.records(BATCH)) for _ in range(batches)]
+    directory = tempfile.mkdtemp(prefix="repro-e17-fsync-")
+    latencies = []
+    try:
+        db = _build(DurabilityConfig(mode="wal", dir=directory, fsync="always"))
+        try:
+            with GLOBAL_COUNTERS.disabled():
+                gc.collect()
+                for batch in prepared:
+                    start = time.perf_counter()
+                    db.append("transactions", batch)
+                    latencies.append(time.perf_counter() - start)
+        finally:
+            db.close()
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+    latencies.sort()
+    p50 = latencies[len(latencies) // 2]
+    p99 = latencies[min(len(latencies) - 1, int(0.99 * (len(latencies) - 1)))]
+    return p50, p99, len(latencies)
+
+
 def run_report() -> str:
     results = run_measurements(modes=("off", "wal", "wal+snapshot"))
     rows = []
@@ -211,6 +249,7 @@ def run_report() -> str:
             [mode, f"{results[mode]:,.0f}", f"{results[mode] / results['off']:.2f}x"]
         )
     replayed, seconds, exact, bounded = run_recovery()
+    p50, p99, timed = run_fsync_latency()
     return (
         f"== E17  durability overhead (fsync={FSYNC}, {BATCH}-record "
         f"batches, {len(_view_names())} views) ==\n"
@@ -220,6 +259,8 @@ def run_report() -> str:
         f"batch(es) in {seconds * 1000:.1f}ms; "
         f"state {'EXACT' if exact else 'MISMATCH'}, "
         f"replay {'bounded' if bounded else 'UNBOUNDED'}\n"
+        f"fsync=always append latency ({timed} batches, report-only): "
+        f"p50 {p50 * 1000:.2f}ms  p99 {p99 * 1000:.2f}ms\n"
         f"expected: wal >= {OVERHEAD_BAR:.2f}x off; replay <= the "
         f"snapshot interval; recovered state identical to an "
         f"uninterrupted run\n"
@@ -237,6 +278,7 @@ def gate() -> int:
     observed = median(trials)
     spread = mad(trials)
     replayed, seconds, exact, bounded = run_recovery()
+    fsync_p50, fsync_p99, fsync_batches = run_fsync_latency()
 
     history = load_history(RESULTS_PATH, EXPERIMENT)
     previous_best = max(
@@ -268,6 +310,11 @@ def gate() -> int:
                 "seconds": round(seconds, 4),
                 "exact": exact,
             },
+            "fsync_always": {  # report-only: disk latency, never gated
+                "batches": fsync_batches,
+                "p50_ms": round(fsync_p50 * 1000, 3),
+                "p99_ms": round(fsync_p99 * 1000, 3),
+            },
         },
     )
     save_history(RESULTS_PATH, history)
@@ -280,6 +327,11 @@ def gate() -> int:
         f"recovery: replayed {replayed}/{RECOVERY_BATCHES} batch(es) "
         f"(interval {SNAPSHOT_INTERVAL}) in {seconds * 1000:.1f}ms, "
         f"state {'exact' if exact else 'MISMATCH'}"
+    )
+    print(
+        f"fsync=always append latency (report-only): p50 "
+        f"{fsync_p50 * 1000:.2f}ms  p99 {fsync_p99 * 1000:.2f}ms "
+        f"over {fsync_batches} batches"
     )
     print(f"results appended to {RESULTS_PATH}")
     failed = False

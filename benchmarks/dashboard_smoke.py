@@ -1,0 +1,136 @@
+"""Dashboard smoke drill — live scrape of /dashboard and /timeline.
+
+CI's end-to-end check of the operations dashboard: run a short sharded
+ingest with the metrics-history sampler on a fast cadence, then fetch
+the two endpoints over real HTTP and assert
+
+1. **/timeline** answers bounded JSON with non-empty series — the
+   throughput track saw the ingest, the health track is populated, and
+   the sample count respects the configured ring capacity;
+2. **/dashboard** answers a self-contained HTML page — no third-party
+   assets, SVG sparklines present, the health band and throughput tile
+   rendered.
+
+The timeline JSON is written to the artifact directory (``timeline.json``,
+plus ``dashboard.html``) so a failing run leaves the evidence the
+workflow uploads.  Exits non-zero on any missing piece.
+
+Set ``DASHBOARD_DIR`` to choose the artifact directory (default
+``dashboard-artifacts``).
+"""
+
+import json
+import os
+import sys
+import urllib.request
+
+from repro import ChronicleDatabase, DatabaseConfig
+from repro.core.config import HistoryConfig
+
+BATCHES = 400
+SAMPLE_EVERY = 40  # forced samples between appends (plus the thread's own)
+
+
+def fail(message):
+    print(f"FAIL: {message}")
+    sys.exit(1)
+
+
+def fetch(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return (
+            response.status,
+            response.headers.get("Content-Type", ""),
+            response.read(),
+        )
+
+
+def run(artifact_dir):
+    os.makedirs(artifact_dir, exist_ok=True)
+    config = DatabaseConfig(
+        engine="sharded",
+        shards=2,
+        observe=True,
+        history=HistoryConfig(sample_interval_seconds=0.05, capacity=256),
+    )
+    db = ChronicleDatabase(config=config)
+    try:
+        db.create_chronicle(
+            "calls", [("caller", "INT"), ("minutes", "INT")], retention=0
+        )
+        db.define_view(
+            "DEFINE VIEW usage AS "
+            "SELECT caller, SUM(minutes) AS total FROM calls GROUP BY caller"
+        )
+        history = db.observability.history
+        if history is None or not history.running:
+            fail("history sampler did not start with the database")
+        server = db.observability.serve(port=0)
+        print(f"ingesting {BATCHES} batches with scrapes at {server.url}")
+        for i in range(BATCHES):
+            db.append("calls", {"caller": i % 11, "minutes": 1 + i % 5})
+            if i % SAMPLE_EVERY == 0:
+                history.sample_now()
+        history.sample_now()
+
+        status, content_type, body = fetch(server.url + "/timeline")
+        if status != 200:
+            fail(f"/timeline answered {status}")
+        if "application/json" not in content_type:
+            fail(f"/timeline content type {content_type!r}")
+        timeline = json.loads(body)
+        with open(os.path.join(artifact_dir, "timeline.json"), "w") as handle:
+            json.dump(timeline, handle, indent=2, sort_keys=True)
+        if timeline["count"] < 2:
+            fail(f"timeline holds {timeline['count']} sample(s); expected >= 2")
+        if timeline["count"] > timeline["capacity"]:
+            fail("timeline count exceeds the configured ring capacity")
+        records = [
+            v for v in timeline["series"]["records_per_sec"] if v
+        ]
+        if not records:
+            fail("records_per_sec series never saw the ingest")
+        if not any(timeline["health"]):
+            fail("health track is empty")
+        print(
+            f"/timeline ok: {timeline['count']} samples, peak "
+            f"{max(records):,.0f} records/s, health "
+            f"{timeline['health'][-1]}"
+        )
+
+        status, content_type, body = fetch(server.url + "/dashboard")
+        if status != 200:
+            fail(f"/dashboard answered {status}")
+        if "text/html" not in content_type:
+            fail(f"/dashboard content type {content_type!r}")
+        html = body.decode("utf-8")
+        with open(os.path.join(artifact_dir, "dashboard.html"), "w") as handle:
+            handle.write(html)
+        if not html.lower().startswith("<!doctype html>"):
+            fail("/dashboard is not an HTML document")
+        for needle in ("<svg", "throughput", "health"):
+            if needle not in html:
+                fail(f"/dashboard is missing {needle!r}")
+        for forbidden in ("http://", "https://", "cdn."):
+            if forbidden in html.split("</head>")[0]:
+                fail(f"/dashboard head references an external asset "
+                     f"({forbidden!r}) — it must be dependency-free")
+        print(f"/dashboard ok: {len(html):,} bytes, self-contained HTML+SVG")
+
+        status, _, body = fetch(
+            server.url + "/timeline?series=records_per_sec&limit=5"
+        )
+        narrow = json.loads(body)
+        if set(narrow["series"]) != {"records_per_sec"} or narrow["count"] > 5:
+            fail("/timeline series/limit filtering broken")
+        print("/timeline filtering ok")
+    finally:
+        db.observability.stop_serving()
+        db.disable_observability()
+        db.close()
+    print(f"artifacts in {artifact_dir}/")
+    print("dashboard smoke: all checks passed")
+
+
+if __name__ == "__main__":
+    run(os.environ.get("DASHBOARD_DIR", "dashboard-artifacts"))

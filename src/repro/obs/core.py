@@ -140,6 +140,10 @@ class Observability:
         self.recorder = FlightRecorder(directory=incident_dir)
         self._span_listeners: List[Callable[[Span], None]] = []
         self._server: Optional[Any] = None
+        #: The :class:`~repro.obs.history.MetricsHistory` sampler, once
+        #: started (``None`` until then; survives :meth:`stop_history`
+        #: so the ring stays readable after shutdown).
+        self.history: Optional[Any] = None
         self._db_ref: Optional["weakref.ReferenceType[Any]"] = None
         self._last_health_status = "OK"
 
@@ -202,6 +206,37 @@ class Observability:
         if self._server is not None:
             self._server.stop()
             self._server = None
+
+    # -- metrics history ---------------------------------------------------------------
+
+    def start_history(
+        self,
+        interval: float = 1.0,
+        capacity: int = 720,
+        thread: bool = True,
+    ) -> Any:
+        """Start the :class:`~repro.obs.history.MetricsHistory` sampler.
+
+        With ``thread=True`` a daemon thread samples every *interval*
+        seconds; ``thread=False`` builds the ring without one (callers
+        drive :meth:`~repro.obs.history.MetricsHistory.sample_now`
+        themselves — the CLI's ``SHOW TIMELINE``).  Raises
+        :class:`ObservabilityError` when a sampler thread is already
+        running; a stopped sampler is replaced, dropping its ring.
+        """
+        from .history import MetricsHistory
+
+        if self.history is not None and self.history.running:
+            raise ObservabilityError("metrics history already running")
+        self.history = MetricsHistory(self, interval=interval, capacity=capacity)
+        if thread:
+            self.history.start()
+        return self.history
+
+    def stop_history(self) -> None:
+        """Stop the history sampler thread; the ring stays readable."""
+        if self.history is not None:
+            self.history.stop()
 
     # -- span bridge -------------------------------------------------------------------
 
@@ -348,6 +383,18 @@ class Observability:
             context.setdefault("snapshot", self.snapshot())
         except Exception:
             pass
+        if self.history is not None:
+            from .history import INCIDENT_TIMELINE_SAMPLES
+
+            try:
+                # The trailing window: a bundle records the lead-up,
+                # not just the moment of failure.
+                context.setdefault(
+                    "timeline",
+                    self.history.timeline(limit=INCIDENT_TIMELINE_SAMPLES),
+                )
+            except Exception:
+                pass
         return self.recorder.trigger(reason, context, path=path)
 
     # -- snapshots ---------------------------------------------------------------------
@@ -390,6 +437,16 @@ class Observability:
                 "triggered": self.recorder.triggered,
                 "dumped": self.recorder.dumped,
             },
+            "history": (
+                {
+                    "running": self.history.running,
+                    "samples": len(self.history.samples()),
+                    "interval_seconds": self.history.interval,
+                    "capacity": self.history.capacity,
+                }
+                if self.history is not None
+                else {"running": False, "samples": 0}
+            ),
         }
 
     def __repr__(self) -> str:

@@ -18,10 +18,19 @@ stdlib-only:
     .snapshot` as JSON;
   - ``/health`` — the :class:`~repro.obs.health.HealthReport` as JSON
     (status 200 for ``OK``/``DEGRADED``, 503 for ``FAILING`` — load
-    balancers and probes key off the status code alone).
+    balancers and probes key off the status code alone);
+  - ``/timeline`` — the bounded :meth:`~repro.obs.history
+    .MetricsHistory.timeline` series as JSON (``?window=`` seconds,
+    ``?series=`` comma-separated names, ``?limit=`` samples; 404 until
+    the history sampler exists);
+  - ``/dashboard`` — the dependency-free single-page operations
+    dashboard (:func:`~repro.obs.history.render_dashboard`).
 
-  Bind port 0 for an ephemeral port (tests do); the bound port is
-  available as :attr:`MetricsServer.port` after :meth:`start`.
+  Routes live in the module-level :data:`ROUTES` registry — a new
+  endpoint is one ``@route("/path")`` function, not another branch in
+  the handler.  Bind port 0 for an ephemeral port (tests do); the
+  bound port is available as :attr:`MetricsServer.port` after
+  :meth:`start`.
 
 * :class:`JsonlSpanSink` — streams every completed trace (root span
   tree) to a JSON-lines file as it finishes, with size-based rotation
@@ -43,7 +52,8 @@ import json
 import os
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from urllib.parse import parse_qs
 
 from ..errors import ObservabilityError
 from .tracer import Span
@@ -65,6 +75,102 @@ _IDENTITY_ATTRS = (
 # HTTP endpoint
 # ---------------------------------------------------------------------------
 
+#: A route returns ``(status, content_type, body)`` for one GET.
+Route = Callable[[Any, Dict[str, str]], Tuple[int, str, bytes]]
+
+#: The exporter's route table: normalized path -> handler.  New
+#: endpoints register themselves with :func:`route`; the request
+#: handler is one dict hit, never a growing if/elif chain.
+ROUTES: Dict[str, Route] = {}
+
+
+def route(path: str) -> Callable[[Route], Route]:
+    """Register *path* in :data:`ROUTES` (module-import time)."""
+
+    def register(func: Route) -> Route:
+        ROUTES[path] = func
+        return func
+
+    return register
+
+
+def _json_reply(payload: Any, status: int = 200) -> Tuple[int, str, bytes]:
+    body = json.dumps(payload, sort_keys=True, indent=2, default=str).encode(
+        "utf-8"
+    )
+    return status, "application/json", body
+
+
+@route("/metrics")
+def _metrics_route(obs: Any, params: Dict[str, str]) -> Tuple[int, str, bytes]:
+    body = obs.metrics.to_prometheus().encode("utf-8")
+    return 200, "text/plain; version=0.0.4; charset=utf-8", body
+
+
+@route("/certificates")
+def _certificates_route(
+    obs: Any, params: Dict[str, str]
+) -> Tuple[int, str, bytes]:
+    return _json_reply(obs.certificates)
+
+
+@route("/snapshot")
+def _snapshot_route(obs: Any, params: Dict[str, str]) -> Tuple[int, str, bytes]:
+    return _json_reply(obs.snapshot())
+
+
+@route("/costs")
+def _costs_route(obs: Any, params: Dict[str, str]) -> Tuple[int, str, bytes]:
+    return _json_reply(obs.cost_snapshot())
+
+
+@route("/health")
+def _health_route(obs: Any, params: Dict[str, str]) -> Tuple[int, str, bytes]:
+    try:
+        report = obs.health()
+        payload = report.as_dict()
+        status = 503 if report.status == "FAILING" else 200
+    except Exception as exc:
+        # A probe endpoint must answer even when evaluation breaks —
+        # an unanswerable /health reads as down anyway.
+        payload = {"status": "FAILING", "error": repr(exc)}
+        status = 503
+    return _json_reply(payload, status)
+
+
+@route("/timeline")
+def _timeline_route(obs: Any, params: Dict[str, str]) -> Tuple[int, str, bytes]:
+    history = obs.history
+    if history is None:
+        return _json_reply(
+            {"error": "metrics history is not enabled", "count": 0}, 404
+        )
+    try:
+        window = float(params["window"]) if "window" in params else None
+        limit = int(params["limit"]) if "limit" in params else None
+    except ValueError as exc:
+        return _json_reply({"error": f"bad query parameter: {exc}"}, 400)
+    series = None
+    if "series" in params:
+        series = [name for name in params["series"].split(",") if name]
+    try:
+        payload = history.timeline(
+            window_seconds=window, series=series, limit=limit
+        )
+    except ValueError as exc:
+        return _json_reply({"error": str(exc)}, 400)
+    return _json_reply(payload)
+
+
+@route("/dashboard")
+def _dashboard_route(
+    obs: Any, params: Dict[str, str]
+) -> Tuple[int, str, bytes]:
+    from .history import render_dashboard
+
+    body = render_dashboard(obs).encode("utf-8")
+    return 200, "text/html; charset=utf-8", body
+
 
 class _MetricsHandler(BaseHTTPRequestHandler):
     """Routes GETs to the owning server's observability handle."""
@@ -72,40 +178,25 @@ class _MetricsHandler(BaseHTTPRequestHandler):
     server: "MetricsServer"
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
-        obs = self.server.observability
-        if path == "/metrics":
-            body = obs.metrics.to_prometheus().encode("utf-8")
-            self._reply(200, "text/plain; version=0.0.4; charset=utf-8", body)
-        elif path == "/certificates":
-            body = json.dumps(obs.certificates, sort_keys=True, indent=2).encode(
-                "utf-8"
-            )
-            self._reply(200, "application/json", body)
-        elif path == "/snapshot":
-            body = json.dumps(obs.snapshot(), sort_keys=True, indent=2).encode("utf-8")
-            self._reply(200, "application/json", body)
-        elif path == "/costs":
-            body = json.dumps(
-                obs.cost_snapshot(), sort_keys=True, indent=2
-            ).encode("utf-8")
-            self._reply(200, "application/json", body)
-        elif path == "/health":
-            try:
-                report = obs.health()
-                payload = report.as_dict()
-                status = 503 if report.status == "FAILING" else 200
-            except Exception as exc:
-                # A probe endpoint must answer even when evaluation
-                # breaks — an unanswerable /health reads as down anyway.
-                payload = {"status": "FAILING", "error": repr(exc)}
-                status = 503
-            body = json.dumps(payload, sort_keys=True, indent=2, default=str).encode(
-                "utf-8"
-            )
-            self._reply(status, "application/json", body)
-        else:
+        path, _, query = self.path.partition("?")
+        path = path.rstrip("/") or "/"
+        handler = ROUTES.get(path)
+        if handler is None:
             self._reply(404, "text/plain; charset=utf-8", b"not found\n")
+            return
+        params = {
+            key: values[-1]
+            for key, values in parse_qs(query, keep_blank_values=True).items()
+        }
+        try:
+            status, content_type, body = handler(
+                self.server.observability, params
+            )
+        except Exception as exc:
+            # A broken route answers 500; it must never hang the scrape
+            # loop or kill the serving thread.
+            status, content_type, body = _json_reply({"error": repr(exc)}, 500)
+        self._reply(status, content_type, body)
 
     def _reply(self, status: int, content_type: str, body: bytes) -> None:
         self.send_response(status)

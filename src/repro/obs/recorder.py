@@ -111,6 +111,10 @@ class FlightRecorder:
         #: Lifetime bundles written to disk.
         self.dumped = 0
         self._ring: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        # Side-channel of trigger markers only: the metrics-history
+        # sampler polls this every tick, and copying the full ring per
+        # tick would dwarf the cost of everything else it reads.
+        self._triggers: Deque[Dict[str, Any]] = deque(maxlen=64)
         self._lock = threading.Lock()
         self._sequence = 0
         self._last_dump_at: Dict[str, float] = {}
@@ -137,6 +141,17 @@ class FlightRecorder:
         with self._lock:
             return list(self._ring)
 
+    def triggers_since(self, sequence: int) -> List[Dict[str, Any]]:
+        """Trigger markers newer than *sequence*, oldest first.
+
+        A bounded (last 64) side-channel so pollers can pick up incident
+        markers incrementally without copying the event ring.  Filtering
+        by trigger sequence rather than wall clock keeps it immune to
+        clock adjustments.
+        """
+        with self._lock:
+            return [dict(t) for t in self._triggers if t["sequence"] > sequence]
+
     # -- dumping -------------------------------------------------------------------
 
     def trigger(
@@ -159,6 +174,9 @@ class FlightRecorder:
             self._sequence += 1
             sequence = self._sequence
             self._ring.append({"kind": "trigger", "at": now, "reason": reason})
+            self._triggers.append(
+                {"at": now, "reason": reason, "sequence": sequence}
+            )
             if path is None:
                 if self.directory is None:
                     return None

@@ -30,6 +30,14 @@ relation (``db.relation(...).insert``) and programmatic periodic views
 are durable only through snapshots; a programmatic view whose summary
 has no portable plan spec cannot be logged — defining one raises a
 :class:`NonDurableWarning` and recovery will not rebuild it.
+
+Periodic-view *clocks* are more durable than their definitions: every
+registered :class:`~repro.views.periodic.PeriodicViewSet`'s latest
+observed chronon is persisted to the WAL ``meta`` table (cheap upsert,
+written only when it moved) so that after ``ChronicleDatabase.open()``
+a re-defined programmatic periodic view resumes its cadence — interval
+expiry picks up where the crash left it instead of restarting from a
+blank clock (:meth:`DurabilityManager.seed_periodic_clock`).
 """
 
 from __future__ import annotations
@@ -64,6 +72,10 @@ class RecoveryError(ChronicleError):
 class NonDurableWarning(UserWarning):
     """An operation produced state the durability subsystem cannot log."""
 
+
+#: ``meta``-table key prefix for persisted periodic-view clocks
+#: (``periodic_clock:<view name>`` → latest observed chronon).
+_PERIODIC_CLOCK_PREFIX = "periodic_clock:"
 
 #: Thread-local marker set while ``open_database`` constructs a database
 #: over existing durable state — the only context in which the manager
@@ -142,6 +154,13 @@ class DurabilityManager:
         self.wal = ChronicleWal(config.dir, fsync=config.fsync)
         self.last_recovery: Optional[RecoveryReport] = None
         self._batches_since_snapshot = 0
+        #: Clocks loaded from the ``meta`` table during recovery, keyed
+        #: by view name — consumed by :meth:`seed_periodic_clock` when a
+        #: programmatic periodic view is re-defined after ``open()``.
+        self._recovered_clocks: Dict[str, float] = {}
+        #: Last clock value written per view — skips the ``meta`` upsert
+        #: when nothing moved (the common case between expiries).
+        self._logged_clocks: Dict[str, float] = {}
         self._closed = False
         #: False while recovery replays the log — replayed operations
         #: must not be re-logged.
@@ -200,11 +219,45 @@ class DurabilityManager:
         """
         if self._closed or not self._live:
             return
+        self._record_periodic_clocks()
         if (
             self.config.mode == "wal+snapshot"
             and self._batches_since_snapshot >= self.config.snapshot_interval_batches
         ):
             self.snapshot()
+
+    # -- periodic-view clocks ---------------------------------------------------
+
+    def _record_periodic_clocks(self) -> None:
+        """Persist moved periodic-view clocks to the ``meta`` table."""
+        db = self._db_ref()
+        if db is None:
+            return
+        for name, view_set in db.registry._periodic.items():
+            clock = view_set._clock
+            if clock is None:
+                continue
+            clock = float(clock)
+            if self._logged_clocks.get(name) == clock:
+                continue
+            self.wal.set_meta(_PERIODIC_CLOCK_PREFIX + name, repr(clock))
+            self._logged_clocks[name] = clock
+
+    def seed_periodic_clock(self, view_set: Any) -> None:
+        """Resume a (re-)defined periodic view's cadence from the log.
+
+        Called by the facade whenever a periodic view is registered on a
+        durable database: if the ``meta`` table recorded a clock for
+        this view name before the crash (or a recovered snapshot/tail
+        already advanced it), the later of the two wins, so interval
+        expiry continues from where the previous process stopped.
+        """
+        recovered = self._recovered_clocks.get(view_set.name)
+        if recovered is None:
+            return
+        if view_set._clock is None or recovered > view_set._clock:
+            view_set._clock = recovered
+            view_set._expire_stale()
 
     # -- catalog + relation logging -------------------------------------------
 
@@ -298,6 +351,12 @@ class DurabilityManager:
         started = time.perf_counter()
         self._live = False
         try:
+            for key, value in self.wal.meta_items(_PERIODIC_CLOCK_PREFIX):
+                name = key[len(_PERIODIC_CLOCK_PREFIX):]
+                try:
+                    self._recovered_clocks[name] = float(value)
+                except ValueError:
+                    continue
             snapshot = self.wal.latest_snapshot()
             snapshot_id = snapshot.log_id if snapshot is not None else 0
             replayed_ddl = 0
@@ -305,6 +364,25 @@ class DurabilityManager:
                 _apply_ddl(db, entry.payload)
                 replayed_ddl += 1
             if snapshot is not None:
+                # A snapshot may carry state for a programmatic periodic
+                # view no logged DDL rebuilds; restoring would abort on
+                # the unknown name.  Drop that state (the documented
+                # limit) instead of failing the whole recovery — the
+                # view's clock still resumes from the meta table once it
+                # is re-defined.
+                periodic_state = snapshot.document.get("periodic", {})
+                for name in [
+                    n for n in periodic_state if n not in db.registry._periodic
+                ]:
+                    del periodic_state[name]
+                    warnings.warn(
+                        f"snapshot carries state for periodic view {name!r} "
+                        f"which no logged DDL rebuilds; dropping it — "
+                        f"re-define the view after open() (its clock "
+                        f"resumes from the log's meta table)",
+                        NonDurableWarning,
+                        stacklevel=2,
+                    )
                 db.restore(snapshot.document)
             replayed = 0
             relation_updates = 0
@@ -338,6 +416,12 @@ class DurabilityManager:
                         f"unknown log entry kind {entry.kind!r} "
                         f"(entry {entry.entry_id})"
                     )
+            # Text-defined periodic views were rebuilt by the DDL replay
+            # above; hand each its persisted clock in case the truncated
+            # tail no longer reaches the last pre-crash chronon.
+            for view_set in db.registry._periodic.values():
+                self.seed_periodic_clock(view_set)
+            self._logged_clocks = dict(self._recovered_clocks)
             elapsed = time.perf_counter() - started
             self._batches_since_snapshot = replayed
             self.last_recovery = RecoveryReport(
@@ -402,6 +486,8 @@ class DurabilityManager:
         """Commit and fsync the log (an explicit durability barrier)."""
         if self._closed:
             return
+        if self._live:
+            self._record_periodic_clocks()
         obs = obs_runtime.ACTIVE
         span = None
         if obs is not None and obs.trace:
@@ -419,6 +505,7 @@ class DurabilityManager:
         """Finalize the log: final snapshot (if due), fsync, detach, close."""
         if self._closed:
             return
+        self._record_periodic_clocks()
         if self.config.mode == "wal+snapshot" and self._batches_since_snapshot:
             self.snapshot()
         self._detach()

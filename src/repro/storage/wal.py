@@ -216,6 +216,40 @@ class ChronicleWal:
         with self._lock:
             self._require().execute("PRAGMA wal_checkpoint(FULL)")
 
+    # -- meta (durable key/value side-state) ----------------------------------
+
+    def set_meta(self, key: str, value: str) -> None:
+        """Upsert one ``meta`` row (durable non-log side-state).
+
+        The periodic-view clocks live here: they are not events (replay
+        rebuilds nothing from them) but must survive a crash so
+        programmatic periodic views resume their cadence after
+        ``open()``.
+        """
+        with self._lock:
+            self._require().execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                (key, value),
+            )
+
+    def get_meta(self, key: str) -> Optional[str]:
+        with self._lock:
+            row = self._require().execute(
+                "SELECT value FROM meta WHERE key = ?", (key,)
+            ).fetchone()
+        return None if row is None else str(row[0])
+
+    def meta_items(self, prefix: str) -> Iterator[Tuple[str, str]]:
+        """All ``meta`` rows whose key starts with *prefix*, key-ordered."""
+        with self._lock:
+            rows = self._require().execute(
+                "SELECT key, value FROM meta WHERE key >= ? AND key < ?"
+                " ORDER BY key",
+                (prefix, prefix + "￿"),
+            ).fetchall()
+        for key, value in rows:
+            yield str(key), str(value)
+
     # -- reads ----------------------------------------------------------------
 
     def is_fresh(self) -> bool:

@@ -630,6 +630,96 @@ class TestNonDurable:
 
 
 # ---------------------------------------------------------------------------
+# Periodic-view clocks survive a crash (WAL meta table)
+# ---------------------------------------------------------------------------
+
+
+class TestPeriodicClockRecovery:
+    def _define(self, db):
+        from repro import monthly
+
+        with pytest.warns(NonDurableWarning, match="clock resumes"):
+            return db.define_periodic_view(
+                "usage",
+                "DEFINE VIEW usage AS SELECT caller, SUM(minutes) AS total "
+                "FROM calls GROUP BY caller",
+                monthly(month_length=30),
+                chronon_of=lambda row: float(row["day"]),
+            )
+
+    def test_clock_resumes_after_crash(self, tmp_path):
+        directory = str(tmp_path / "db")
+        db = ChronicleDatabase.open(directory)
+        db.create_chronicle(
+            "calls", [("caller", "INT"), ("minutes", "INT"), ("day", "INT")]
+        )
+        view_set = self._define(db)
+        db.append("calls", [(1, 10, 5)])
+        db.append("calls", [(2, 3, 47)])
+        assert view_set._clock == 47.0
+        db.durability.abort()  # crash: no final snapshot, no clean close
+
+        reopened = ChronicleDatabase.open(directory)
+        try:
+            # Re-defining the programmatic view resumes its cadence from
+            # the persisted clock instead of a blank one.
+            redefined = self._define(reopened)
+            assert redefined._clock == 47.0
+            # The clock keeps advancing normally from there.
+            reopened.append("calls", [(3, 1, 95)])
+            assert redefined._clock == 95.0
+        finally:
+            reopened.close()
+
+    def test_text_defined_periodic_clock_max_semantics(self, tmp_path):
+        """A DDL-replayed periodic view takes the later of replayed and
+        persisted clocks — a stale meta row never rolls it back."""
+        from repro.storage.durability import _PERIODIC_CLOCK_PREFIX
+
+        directory = str(tmp_path / "db")
+        db = ChronicleDatabase.open(directory)
+        db.create_chronicle(
+            "calls", [("caller", "INT"), ("minutes", "INT"), ("day", "INT")]
+        )
+        db.define_view(
+            "DEFINE PERIODIC VIEW usage OVER EVERY 30 BY day AS "
+            "SELECT caller, SUM(minutes) AS total FROM calls GROUP BY caller"
+        )
+        db.append("calls", [(1, 10, 40)])
+        assert db.periodic_view("usage")._clock == 40.0
+        # Plant a stale meta row behind the replayable stream.
+        db.durability.wal.set_meta(_PERIODIC_CLOCK_PREFIX + "usage", "7.0")
+        db.durability._logged_clocks.pop("usage", None)
+        db.durability.abort()
+
+        reopened = ChronicleDatabase.open(directory)
+        try:
+            # DDL + tail replay already advanced the clock to 40; the
+            # stale persisted 7.0 must not win.
+            assert reopened.periodic_view("usage")._clock == 40.0
+        finally:
+            reopened.close()
+
+    def test_clock_survives_clean_close_too(self, tmp_path):
+        directory = str(tmp_path / "db")
+        db = ChronicleDatabase.open(directory)
+        db.create_chronicle(
+            "calls", [("caller", "INT"), ("minutes", "INT"), ("day", "INT")]
+        )
+        self._define(db)
+        db.append("calls", [(1, 10, 12)])
+        db.close()  # final snapshot carries the orphaned periodic state
+
+        with pytest.warns(NonDurableWarning, match="dropping it"):
+            reopened = ChronicleDatabase.open(directory)
+        try:
+            redefined = self._define(reopened)
+            assert redefined._clock == 12.0
+        finally:
+            reopened.close()
+
+
+# ---------------------------------------------------------------------------
 # Configuration validation
 # ---------------------------------------------------------------------------
 
